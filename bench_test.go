@@ -1,0 +1,460 @@
+// Package hobbit holds the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (one benchmark per experiment, see
+// DESIGN.md's per-experiment index), micro-benchmarks of the measurement
+// hot paths, and the ablation benchmarks of the design choices called out
+// in DESIGN.md section 4.
+//
+// Run with: go test -bench=. -benchmem
+package hobbit
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/aggregate"
+	"github.com/hobbitscan/hobbit/internal/cluster"
+	"github.com/hobbitscan/hobbit/internal/confidence"
+	"github.com/hobbitscan/hobbit/internal/eval"
+	"github.com/hobbitscan/hobbit/internal/graph"
+	"github.com/hobbitscan/hobbit/internal/hobbit"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/mcl"
+	"github.com/hobbitscan/hobbit/internal/netsim"
+	"github.com/hobbitscan/hobbit/internal/probe"
+	"github.com/hobbitscan/hobbit/internal/zmap"
+)
+
+var (
+	benchOnce sync.Once
+	benchLab  *eval.Lab
+	benchErr  error
+)
+
+// lab returns the shared benchmark laboratory (world + cached pipeline).
+func lab(b *testing.B) *eval.Lab {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchLab, benchErr = eval.NewLab(eval.LabConfig{
+			NumBlocks:     2500,
+			BigBlockScale: 0.03,
+		})
+		if benchErr == nil {
+			// Warm the pipeline and trace dataset outside any timer.
+			if _, err := benchLab.Pipeline(); err != nil {
+				benchErr = err
+				return
+			}
+			_, benchErr = benchLab.TraceDataset()
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchLab
+}
+
+// BenchmarkExperiments regenerates every registered table and figure; each
+// sub-benchmark is one experiment ID from DESIGN.md's index.
+func BenchmarkExperiments(b *testing.B) {
+	l := lab(b)
+	for _, e := range eval.Experiments() {
+		e := e
+		b.Run(e.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := e.Run(l)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 && testing.Verbose() {
+					r.WriteTo(io.Discard)
+				}
+			}
+		})
+	}
+}
+
+// --- Substrate and measurement micro-benchmarks ---
+
+func BenchmarkWorldBuild(b *testing.B) {
+	cfg := netsim.DefaultConfig(20000)
+	cfg.BigBlockScale = 0.1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.New(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProbe(b *testing.B) {
+	l := lab(b)
+	dst := l.World.Blocks()[100].Addr(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Net.Probe(dst, 7, uint16(i&0xf), uint32(i))
+	}
+}
+
+func BenchmarkMDAFullTrace(b *testing.B) {
+	l := lab(b)
+	out, err := l.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := firstResponsive(b, l, out.Eligible)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := probe.MDA(l.Net, dst, probe.MDAOptions{})
+		if !res.DestReached {
+			b.Fatal("destination unreachable")
+		}
+	}
+}
+
+func BenchmarkFindLastHops(b *testing.B) {
+	l := lab(b)
+	out, err := l.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := firstResponsive(b, l, out.Eligible)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := probe.FindLastHops(l.Net, dst, probe.MDAOptions{})
+		if !res.Responded {
+			b.Fatal("destination unresponsive")
+		}
+	}
+}
+
+func firstResponsive(b *testing.B, l *eval.Lab, blocks []iputil.Block24) iputil.Addr {
+	b.Helper()
+	for _, blk := range blocks {
+		for i := 1; i < 255; i++ {
+			if a := blk.Addr(i); l.World.RespondsNow(a) {
+				return a
+			}
+		}
+	}
+	b.Fatal("no responsive destination")
+	return 0
+}
+
+// BenchmarkMeasureBlock measures one /24 end to end and reports the probe
+// cost per block.
+func BenchmarkMeasureBlock(b *testing.B) {
+	l := lab(b)
+	out, err := l.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	counter := probe.NewCounter(l.Net)
+	m := &hobbit.Measurer{Net: counter, Seed: 1}
+	blocks := out.Eligible
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := blocks[i%len(blocks)]
+		m.MeasureBlock(blk, out.Dataset.ActivesBy26(blk))
+	}
+	b.ReportMetric(float64(counter.Probes())/float64(b.N), "probes/block")
+}
+
+func BenchmarkCensusScan(b *testing.B) {
+	l := lab(b)
+	blocks := l.World.Blocks()[:500]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		zmap.Scan(l.World, blocks)
+	}
+}
+
+func BenchmarkMCLCore(b *testing.B) {
+	// A synthetic component shaped like the real similarity graphs:
+	// several dense families bridged by weak edges.
+	g := graph.New(240)
+	for f := 0; f < 8; f++ {
+		base := f * 30
+		for i := 0; i < 30; i++ {
+			for j := i + 1; j < 30; j++ {
+				if (i+j)%3 == 0 {
+					g.AddEdge(base+i, base+j, 0.8)
+				}
+			}
+		}
+		if f > 0 {
+			g.AddEdge(base, base-30, 0.05)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := mcl.Cluster(g, mcl.Options{}); len(got) < 2 {
+			b.Fatalf("clusters = %d", len(got))
+		}
+	}
+}
+
+func BenchmarkAggregateIdentical(b *testing.B) {
+	l := lab(b)
+	out, err := l.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	results := out.Campaign.HomogeneousBlocks()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		aggregate.Identical(results)
+	}
+}
+
+// --- Ablations (DESIGN.md section 4) ---
+
+// BenchmarkAblationTermination compares the default MDA-rule terminator
+// with the empirical Figure-4 confidence table and with never terminating:
+// the trade-off between probing cost and verdicts.
+func BenchmarkAblationTermination(b *testing.B) {
+	l := lab(b)
+	out, err := l.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := l.BuildConfidence(1500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := out.Eligible
+	cases := []struct {
+		name string
+		term hobbit.Terminator
+	}{
+		{name: "mda-rule", term: hobbit.MDATerminator{}},
+		{name: "fig4-table", term: table},
+		{name: "probe-all", term: neverEnough{}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			counter := probe.NewCounter(l.Net)
+			m := &hobbit.Measurer{Net: counter, Term: c.term, Seed: 1}
+			correct, judged := 0, 0
+			for i := 0; i < b.N; i++ {
+				blk := blocks[i%len(blocks)]
+				br := m.MeasureBlock(blk, out.Dataset.ActivesBy26(blk))
+				if br.Class.Analyzable() {
+					judged++
+					hom, _ := l.World.TrueHomogeneous(blk)
+					if br.Class.Homogeneous() == hom {
+						correct++
+					}
+				}
+			}
+			b.ReportMetric(float64(counter.Probes())/float64(b.N), "probes/block")
+			if judged > 0 {
+				b.ReportMetric(float64(correct)/float64(judged), "accuracy")
+			}
+		})
+	}
+}
+
+// neverEnough makes Hobbit probe every active address.
+type neverEnough struct{}
+
+func (neverEnough) Enough(int, int) bool { return false }
+
+// BenchmarkAblationOrder compares the Section 3.3 shuffled /26
+// round-robin destination order against naive ascending-address probing
+// over the planted heterogeneous blocks: covering the /26s early exposes
+// splits with fewer probes.
+func BenchmarkAblationOrder(b *testing.B) {
+	l := lab(b)
+	out, err := l.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var hetero []iputil.Block24
+	for _, blk := range l.World.HeteroBlocks() {
+		if out.Dataset.Eligible(blk, 4) {
+			hetero = append(hetero, blk)
+		}
+	}
+	if len(hetero) == 0 {
+		b.Skip("no eligible heterogeneous blocks")
+	}
+	for _, c := range []struct {
+		name       string
+		sequential bool
+	}{
+		{name: "rr-26", sequential: false},
+		{name: "sequential", sequential: true},
+	} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			counter := probe.NewCounter(l.Net)
+			m := &hobbit.Measurer{Net: counter, Seed: 1, SequentialOrder: c.sequential}
+			flagged, analyzable := 0, 0
+			for i := 0; i < b.N; i++ {
+				blk := hetero[i%len(hetero)]
+				br := m.MeasureBlock(blk, out.Dataset.ActivesBy26(blk))
+				if br.Class.Analyzable() {
+					analyzable++
+					if br.VeryLikelyHetero {
+						flagged++
+					}
+				}
+			}
+			b.ReportMetric(float64(counter.Probes())/float64(b.N), "probes/block")
+			if analyzable > 0 {
+				b.ReportMetric(float64(flagged)/float64(analyzable), "flagged-hetero")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMDAStop compares the published per-hop stopping table
+// with a naive fixed probe count per hop.
+func BenchmarkAblationMDAStop(b *testing.B) {
+	l := lab(b)
+	out, err := l.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := firstResponsive(b, l, out.Eligible)
+	for _, c := range []struct {
+		name     string
+		maxFlows int
+	}{
+		{name: "stopping-table", maxFlows: 0}, // default: per-hop rule
+		{name: "fixed-6", maxFlows: 6},
+	} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			paths := 0
+			for i := 0; i < b.N; i++ {
+				res := probe.MDA(l.Net, dst, probe.MDAOptions{MaxFlows: c.maxFlows})
+				paths += res.Paths.Len()
+			}
+			b.ReportMetric(float64(paths)/float64(b.N), "paths/run")
+		})
+	}
+}
+
+// BenchmarkAblationMCLPreprocess compares running MCL per connected
+// component (the paper's preprocessing) with running it on the whole
+// graph at once — the cubic-cost motivation of Section 6.3.
+func BenchmarkAblationMCLPreprocess(b *testing.B) {
+	l := lab(b)
+	out, err := l.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := cluster.BuildGraph(out.Aggregates)
+	b.Run("per-component", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, comp := range g.Components() {
+				if len(comp) < 2 {
+					total++
+					continue
+				}
+				sub, _ := g.Subgraph(comp)
+				total += len(mcl.Cluster(sub, mcl.Options{}))
+			}
+			if total == 0 {
+				b.Fatal("no clusters")
+			}
+		}
+	})
+	b.Run("whole-graph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := mcl.Cluster(g, mcl.Options{}); len(got) == 0 {
+				b.Fatal("no clusters")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationWildcard quantifies the Section 2.1 wildcard rule: the
+// cost of route-set comparison with and without unresponsive-hop
+// tolerance.
+func BenchmarkAblationWildcard(b *testing.B) {
+	l := lab(b)
+	ds, err := l.TraceDataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(ds.Blocks) < 2 {
+		b.Skip("trace dataset too small")
+	}
+	s1 := ds.Blocks[0].Sets[0]
+	s2 := ds.Blocks[1].Sets[0]
+	for _, wildcard := range []bool{false, true} {
+		name := "exact"
+		if wildcard {
+			name = "wildcard"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s1.SharesRoute(s2, wildcard)
+			}
+		})
+	}
+}
+
+// BenchmarkConfidenceTable builds the Figure 4 table at increasing sample
+// budgets.
+func BenchmarkConfidenceTable(b *testing.B) {
+	l := lab(b)
+	ds, err := l.TraceDataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var obs []confidence.BlockObservation
+	for _, bt := range ds.Blocks {
+		o := confidence.BlockObservation{Block: bt.Block}
+		for lh, addrs := range bt.LastHopGroups() {
+			cp := append([]iputil.Addr(nil), addrs...)
+			iputil.SortAddrs(cp)
+			o.Groups = append(o.Groups, hobbit.Group{LastHop: lh, Addrs: cp})
+		}
+		obs = append(obs, o)
+	}
+	for _, samples := range []int{200, 1000} {
+		samples := samples
+		b.Run(fmt.Sprintf("samples-%d", samples), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				builder := confidence.Builder{Samples: samples, MaxProbed: 30, Seed: 9}
+				if _, err := builder.Build(obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaign runs the full measurement campaign over a slice of the
+// universe, the Table 1 workload.
+func BenchmarkCampaign(b *testing.B) {
+	l := lab(b)
+	out, err := l.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := out.Eligible
+	if len(blocks) > 300 {
+		blocks = blocks[:300]
+	}
+	c := &hobbit.Campaign{
+		Measurer: &hobbit.Measurer{Net: l.Net, Seed: 1},
+		Dataset:  out.Dataset,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := c.Run(blocks)
+		if res.Summary().Total != len(blocks) {
+			b.Fatal("incomplete campaign")
+		}
+	}
+	b.ReportMetric(float64(len(blocks)), "blocks/op")
+}

@@ -1,0 +1,204 @@
+// Command hobbit runs the full measurement pipeline over a synthetic
+// Internet — census scan, per-/24 homogeneity classification,
+// identical-set aggregation, MCL clustering with reprobe validation — and
+// prints the resulting homogeneous block map, the artifact the paper
+// publishes.
+//
+// Usage:
+//
+//	hobbit [-blocks N] [-scale F] [-seed S] [-workers W]
+//	       [-skip-clustering] [-dump FILE] [-top N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hobbitscan/hobbit/internal/aggregate"
+	"github.com/hobbitscan/hobbit/internal/blockmap"
+	"github.com/hobbitscan/hobbit/internal/core"
+	"github.com/hobbitscan/hobbit/internal/hobbit"
+	"github.com/hobbitscan/hobbit/internal/netsim"
+	"github.com/hobbitscan/hobbit/internal/probe"
+)
+
+func main() {
+	var (
+		blocks  = flag.Int("blocks", 20000, "number of /24 blocks in the synthetic universe")
+		scale   = flag.Float64("scale", 0.25, "scale factor for the planted Table-5 aggregates")
+		seed    = flag.Uint64("seed", 0x40bb17, "world and measurement seed")
+		workers = flag.Int("workers", 0, "measurement workers (0 = GOMAXPROCS)")
+		skipCl  = flag.Bool("skip-clustering", false, "stop after identical-set aggregation")
+		dump    = flag.String("dump", "", "write the final homogeneous block map to this file")
+		top     = flag.Int("top", 15, "number of largest blocks to characterize")
+		jsonOut = flag.Bool("json", false, "emit a machine-readable run summary instead of tables")
+	)
+	flag.Parse()
+
+	if err := run(runConfig{
+		blocks: *blocks, scale: *scale, seed: *seed, workers: *workers,
+		skipClustering: *skipCl, dump: *dump, top: *top, json: *jsonOut,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "hobbit:", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	blocks         int
+	scale          float64
+	seed           uint64
+	workers        int
+	skipClustering bool
+	dump           string
+	top            int
+	json           bool
+}
+
+func run(rc runConfig) error {
+	cfg := netsim.DefaultConfig(rc.blocks)
+	cfg.BigBlockScale = rc.scale
+	cfg.Seed = rc.seed
+
+	start := time.Now()
+	world, err := netsim.New(cfg)
+	if err != nil {
+		return err
+	}
+	if !rc.json {
+		fmt.Printf("world: %d /24 blocks, %d routers (built in %v)\n",
+			len(world.Blocks()), world.NumRouters(), time.Since(start).Round(time.Millisecond))
+	}
+
+	net := probe.NewCounter(probe.NewSimNetwork(world))
+	p := &core.Pipeline{
+		Net:            net,
+		Scanner:        world,
+		Blocks:         world.Blocks(),
+		Seed:           rc.seed,
+		Workers:        rc.workers,
+		SkipClustering: rc.skipClustering,
+		ValidatePairs:  20000,
+	}
+	start = time.Now()
+	out, err := p.Run()
+	if err != nil {
+		return err
+	}
+	if rc.json {
+		return writeJSON(world, out, net)
+	}
+	fmt.Printf("pipeline: %d eligible /24s measured in %v (%d pings, %d probes)\n\n",
+		len(out.Eligible), time.Since(start).Round(time.Millisecond), net.Pings(), net.Probes())
+
+	// Table 1-style classification summary.
+	sum := out.Campaign.Summary()
+	fmt.Println("classification of measured /24 blocks:")
+	for _, cls := range []hobbit.Class{
+		hobbit.ClassTooFewActive, hobbit.ClassUnresponsiveLastHop,
+		hobbit.ClassSameLastHop, hobbit.ClassNonHierarchical,
+		hobbit.ClassHierarchical,
+	} {
+		fmt.Printf("  %-28s %8d (%5.1f%%)\n", cls, sum.Counts[cls],
+			100*float64(sum.Counts[cls])/float64(max(sum.Total, 1)))
+	}
+	fmt.Printf("homogeneous: %d of %d measurable (%.1f%%)\n\n",
+		sum.Homogeneous(), sum.Measurable(),
+		100*float64(sum.Homogeneous())/float64(max(sum.Measurable(), 1)))
+
+	fmt.Printf("identical-set aggregation: %d homogeneous /24s -> %d blocks\n",
+		sum.Homogeneous(), len(out.Aggregates))
+	if out.Clustering != nil {
+		validated := 0
+		for _, c := range out.Clustering.Clusters {
+			if out.Validated[c.ID] {
+				validated++
+			}
+		}
+		fmt.Printf("clustering: %d clusters (inflation %.2f), %d validated by reprobing -> %d final blocks\n",
+			len(out.Clustering.Clusters), out.Clustering.ChosenInflation, validated, len(out.Final))
+	}
+
+	fmt.Printf("\ntop %d homogeneous blocks:\n", rc.top)
+	fmt.Printf("  %-5s %-6s %-22s %-18s %s\n", "rank", "#/24s", "organization", "geo-location", "type")
+	for i, b := range aggregate.TopBySize(out.Final, rc.top) {
+		info, _ := world.Geo().Lookup(b.Blocks24[0])
+		loc := info.Country
+		if city := world.Geo().City(b.Blocks24[0]); city != "" {
+			loc += " (" + city + ")"
+		}
+		fmt.Printf("  %-5d %-6d %-22s %-18s %s\n", i+1, b.Size(), info.Org, loc, info.Type)
+	}
+
+	if rc.dump != "" {
+		if err := dumpBlocks(rc.dump, out); err != nil {
+			return err
+		}
+		fmt.Printf("\nblock map written to %s\n", rc.dump)
+	}
+	return nil
+}
+
+// runSummary is the -json output shape.
+type runSummary struct {
+	Universe    int            `json:"universe_blocks"`
+	Eligible    int            `json:"eligible_blocks"`
+	Pings       int64          `json:"pings"`
+	Probes      int64          `json:"probes"`
+	Classes     map[string]int `json:"classification"`
+	Homogeneous int            `json:"homogeneous_blocks"`
+	Measurable  int            `json:"measurable_blocks"`
+	Aggregates  int            `json:"identical_set_aggregates"`
+	Clusters    int            `json:"mcl_clusters"`
+	Validated   int            `json:"validated_clusters"`
+	Final       int            `json:"final_blocks"`
+}
+
+func writeJSON(world *netsim.World, out *core.Output, net *probe.Counter) error {
+	sum := out.Campaign.Summary()
+	s := runSummary{
+		Universe:    len(world.Blocks()),
+		Eligible:    len(out.Eligible),
+		Pings:       net.Pings(),
+		Probes:      net.Probes(),
+		Classes:     make(map[string]int),
+		Homogeneous: sum.Homogeneous(),
+		Measurable:  sum.Measurable(),
+		Aggregates:  len(out.Aggregates),
+		Final:       len(out.Final),
+	}
+	for cls, n := range sum.Counts {
+		s.Classes[cls.String()] = n
+	}
+	if out.Clustering != nil {
+		s.Clusters = len(out.Clustering.Clusters)
+		for _, ok := range out.Validated {
+			if ok {
+				s.Validated++
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// dumpBlocks writes the final block map in the blockmap text format.
+func dumpBlocks(path string, out *core.Output) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return blockmap.Write(f, out.Final)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

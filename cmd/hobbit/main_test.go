@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/blockmap"
+)
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline smoke test is slow")
+	}
+	dump := filepath.Join(t.TempDir(), "map.txt")
+	if err := run(runConfig{blocks: 500, scale: 0.02, seed: 7, dump: dump, top: 5}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	blocks, err := blockmap.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) == 0 {
+		t.Error("dumped block map is empty")
+	}
+}
+
+func TestRunSkipClustering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline smoke test is slow")
+	}
+	if err := run(runConfig{blocks: 300, scale: 0.02, seed: 7, workers: 2, skipClustering: true, top: 3}); err != nil {
+		t.Fatal(err)
+	}
+}

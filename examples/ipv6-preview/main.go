@@ -1,0 +1,62 @@
+// IPv6 preview (the paper's first-named future work): Hobbit's hierarchy
+// test carries over to IPv6 with /64 subnets in the /24's role and 64-bit
+// interface identifiers in the host octet's. This example classifies
+// synthetic /64s — one truly split into sub-allocations, one behind a
+// per-destination load balancer — exactly the way Section 2.3 classifies
+// /24s.
+//
+//	go run ./examples/ipv6-preview
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/hobbitscan/hobbit/internal/ip6util"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(64))
+
+	// Case 1: a /64 whose IID space is genuinely split between two
+	// customers at the 2^63 boundary — distinct route entries, so every
+	// address below the boundary exits through r1 and every address
+	// above through r2.
+	split := []ip6util.Group{
+		{LastHop: "2001:db8:ffff::1"},
+		{LastHop: "2001:db8:ffff::2"},
+	}
+	for i := 0; i < 40; i++ {
+		lo := rng.Uint64() >> 1 // below 2^63
+		hi := lo | 1<<63        // above it
+		split[0].IIDs = append(split[0].IIDs, lo)
+		split[1].IIDs = append(split[1].IIDs, hi)
+	}
+
+	// Case 2: a homogeneous /64 behind a per-destination load balancer:
+	// the last hop is a hash of the IID, so the groups interleave.
+	balanced := []ip6util.Group{
+		{LastHop: "2001:db8:eeee::1"},
+		{LastHop: "2001:db8:eeee::2"},
+	}
+	for i := 0; i < 80; i++ {
+		iid := rng.Uint64()
+		balanced[iid%2].IIDs = append(balanced[iid%2].IIDs, iid)
+	}
+
+	verdict := func(groups []ip6util.Group) string {
+		if ip6util.NonHierarchical(groups) {
+			return "homogeneous (differences are load balancing)"
+		}
+		return "hierarchical (consistent with split allocations)"
+	}
+	fmt.Println("split /64:    ", verdict(split))
+	fmt.Println("balanced /64: ", verdict(balanced))
+
+	// The measurement-unit plumbing: subnet extraction and IIDs.
+	probe := ip6util.MustParseAddr("2001:db8:1:2:a1b2:c3d4:e5f6:0789")
+	fmt.Println("\nmeasurement unit of", probe, "is", ip6util.Subnet64(probe))
+	fmt.Printf("its interface identifier: %#x\n", ip6util.IID(probe))
+	fmt.Println("\nwhat does NOT carry over: census scanning — the sparse v6 space")
+	fmt.Println("needs hitlists for destination selection; see ip6util's package docs.")
+}

@@ -1,0 +1,3 @@
+module github.com/hobbitscan/hobbit
+
+go 1.22

@@ -1,0 +1,151 @@
+package aggregate
+
+import (
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/hobbit"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+func ip(s string) iputil.Addr     { return iputil.MustParseAddr(s) }
+func b24(s string) iputil.Block24 { return iputil.MustParseBlock24(s) }
+func hops(ss ...string) []iputil.Addr {
+	out := make([]iputil.Addr, len(ss))
+	for i, s := range ss {
+		out[i] = ip(s)
+	}
+	iputil.SortAddrs(out)
+	return out
+}
+
+func res(block string, lastHops ...string) *hobbit.BlockResult {
+	return &hobbit.BlockResult{Block: b24(block), LastHops: hops(lastHops...)}
+}
+
+func TestKeyIdentity(t *testing.T) {
+	a := Key(hops("1.1.1.1", "2.2.2.2"))
+	b := Key(hops("2.2.2.2", "1.1.1.1"))
+	if a != b {
+		t.Error("Key must be order-insensitive for sorted inputs")
+	}
+	if Key(hops("1.1.1.1")) == Key(hops("1.1.1.1", "2.2.2.2")) {
+		t.Error("different sizes must differ")
+	}
+	// No separator ambiguity: {0x12, 0x34} vs {0x1234}.
+	if Key([]iputil.Addr{0x12, 0x34}) == Key([]iputil.Addr{0x1234}) {
+		t.Error("key collision between distinct sets")
+	}
+}
+
+func TestIdenticalAggregation(t *testing.T) {
+	results := []*hobbit.BlockResult{
+		res("1.0.0.0", "9.9.9.1", "9.9.9.2"),
+		res("1.0.5.0", "9.9.9.2", "9.9.9.1"), // same set, different order
+		res("2.0.0.0", "9.9.9.1"),            // subset: NOT identical
+		res("3.0.0.0", "8.8.8.8"),
+		{Block: b24("4.0.0.0")}, // empty set skipped
+	}
+	blocks := Identical(results)
+	if len(blocks) != 3 {
+		t.Fatalf("aggregated into %d blocks", len(blocks))
+	}
+	if blocks[0].Size() != 2 || blocks[0].Blocks24[0] != b24("1.0.0.0") || blocks[0].Blocks24[1] != b24("1.0.5.0") {
+		t.Errorf("first block = %+v", blocks[0])
+	}
+	if blocks[1].Size() != 1 || blocks[2].Size() != 1 {
+		t.Error("subset and disjoint sets must not merge")
+	}
+	for i, b := range blocks {
+		if b.ID != i {
+			t.Errorf("ID %d != %d", b.ID, i)
+		}
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	blocks := []*Block{
+		{Blocks24: make([]iputil.Block24, 1)},
+		{Blocks24: make([]iputil.Block24, 1)},
+		{Blocks24: make([]iputil.Block24, 7)},
+	}
+	h := SizeHistogram(blocks)
+	if h.Count(1) != 2 || h.Count(7) != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestAdjacencyMetrics(t *testing.T) {
+	b := &Block{Blocks24: []iputil.Block24{
+		b24("10.0.0.0"), b24("10.0.1.0"), // adjacent: LCP 23
+		b24("10.4.0.0"), // LCP(10.0.1.0, 10.4.0.0) = 13
+	}}
+	lcps := AdjacentLCPs(b)
+	if len(lcps) != 2 || lcps[0] != 23 || lcps[1] != 13 {
+		t.Errorf("AdjacentLCPs = %v", lcps)
+	}
+	mm, ok := MinMaxLCP(b)
+	if !ok || mm != 13 {
+		t.Errorf("MinMaxLCP = %d, %v", mm, ok)
+	}
+	if _, ok := MinMaxLCP(&Block{Blocks24: []iputil.Block24{b24("10.0.0.0")}}); ok {
+		t.Error("singleton MinMaxLCP should be !ok")
+	}
+	if AdjacentLCPs(&Block{}) != nil {
+		t.Error("empty AdjacentLCPs should be nil")
+	}
+}
+
+func TestAdjacencyLines(t *testing.T) {
+	b := &Block{Blocks24: []iputil.Block24{
+		b24("10.0.0.0"), b24("10.0.1.0"), b24("10.4.0.0"),
+	}}
+	xs := AdjacencyLines(b)
+	// x1 = 1; x2 = 1 + (24-23) = 2; x3 = 2 + (24-13) = 13.
+	if len(xs) != 3 || xs[0] != 1 || xs[1] != 2 || xs[2] != 13 {
+		t.Errorf("AdjacencyLines = %v", xs)
+	}
+	if AdjacencyLines(&Block{}) != nil {
+		t.Error("empty block should have no lines")
+	}
+}
+
+func TestTopBySize(t *testing.T) {
+	blocks := []*Block{
+		{ID: 0, Blocks24: make([]iputil.Block24, 3)},
+		{ID: 1, Blocks24: make([]iputil.Block24, 9)},
+		{ID: 2, Blocks24: make([]iputil.Block24, 5)},
+	}
+	top := TopBySize(blocks, 2)
+	if len(top) != 2 || top[0].ID != 1 || top[1].ID != 2 {
+		t.Errorf("TopBySize = %v, %v", top[0].ID, top[1].ID)
+	}
+	if got := TopBySize(blocks, 10); len(got) != 3 {
+		t.Errorf("over-asking should return all: %d", len(got))
+	}
+	// Input order preserved.
+	if blocks[0].ID == blocks[1].ID {
+		t.Error("input mutated")
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	// The paper's example: {1.1.1.1, 2.2.2.2, 3.3.3.3} vs {3.3.3.3,
+	// 4.4.4.4} scores 1/3.
+	a := hops("1.1.1.1", "2.2.2.2", "3.3.3.3")
+	b := hops("3.3.3.3", "4.4.4.4")
+	if got := Similarity(a, b); got != 1.0/3.0 {
+		t.Errorf("Similarity = %v, want 1/3", got)
+	}
+	if Similarity(a, a) != 1 {
+		t.Error("self similarity should be 1")
+	}
+	if Similarity(a, hops("9.9.9.9")) != 0 {
+		t.Error("disjoint similarity should be 0")
+	}
+	if Similarity(nil, a) != 0 {
+		t.Error("empty set similarity should be 0")
+	}
+	if Similarity(a, b) != Similarity(b, a) {
+		t.Error("similarity must be symmetric")
+	}
+}

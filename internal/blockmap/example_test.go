@@ -1,0 +1,37 @@
+package blockmap_test
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hobbitscan/hobbit/internal/blockmap"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// Consuming a published block map: parse it and answer colocation
+// queries.
+func ExampleRead() {
+	published := `# hobbit block map: 2 blocks covering 3 /24s
+192.0.2.0/24,198.51.100.0/24	last-hops=203.0.113.1,203.0.113.9
+10.1.2.0/24	last-hops=10.0.0.1
+`
+	blocks, err := blockmap.Read(strings.NewReader(published))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m := blockmap.New(blocks)
+
+	a := iputil.MustParseAddr("192.0.2.55")
+	b := iputil.MustParseAddr("198.51.100.200")
+	c := iputil.MustParseAddr("10.1.2.3")
+	fmt.Println("a and b colocated:", m.SameBlock(a, b))
+	fmt.Println("a and c colocated:", m.SameBlock(a, c))
+	if blk, ok := m.Of(a); ok {
+		fmt.Println("a's block spans", blk.Size(), "/24s")
+	}
+	// Output:
+	// a and b colocated: true
+	// a and c colocated: false
+	// a's block spans 2 /24s
+}

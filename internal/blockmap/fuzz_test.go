@@ -1,0 +1,39 @@
+package blockmap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzRead(f *testing.F) {
+	f.Add("# comment\n192.0.2.0/24\tlast-hops=1.2.3.4\n")
+	f.Add("192.0.2.0/24,198.51.100.0/24\tlast-hops=1.2.3.4,5.6.7.8\n")
+	f.Add("192.0.2.0/24\tlast-hops=\n")
+	f.Add("garbage without a tab\n")
+	f.Add("a\tb\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		blocks, err := Read(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// Whatever parses must survive a write/read cycle unchanged in
+		// shape.
+		var buf bytes.Buffer
+		if err := Write(&buf, blocks); err != nil {
+			t.Fatalf("Write after Read failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read failed: %v", err)
+		}
+		if len(again) != len(blocks) {
+			t.Fatalf("round trip changed block count: %d -> %d", len(blocks), len(again))
+		}
+		for i := range blocks {
+			if blocks[i].Size() != again[i].Size() || len(blocks[i].LastHops) != len(again[i].LastHops) {
+				t.Fatalf("round trip changed block %d shape", i)
+			}
+		}
+	})
+}

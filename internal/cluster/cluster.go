@@ -1,0 +1,429 @@
+// Package cluster implements Section 6: aggregating /24 blocks whose
+// observed last-hop sets are similar but not identical. It models
+// identical-set aggregates as vertices of a weighted similarity graph
+// (score |A∩B| / max(|A|,|B|)), pre-splits the graph into connected
+// components, runs MCL per component with an inflation parameter chosen by
+// the paper's sweep objective, screens clusters with a similarity-
+// distribution rule, and validates them by reprobing.
+package cluster
+
+import (
+	"sort"
+
+	"github.com/hobbitscan/hobbit/internal/aggregate"
+	"github.com/hobbitscan/hobbit/internal/graph"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/mcl"
+	"github.com/hobbitscan/hobbit/internal/rng"
+)
+
+// Cluster is one MCL output group over identical-set aggregates.
+type Cluster struct {
+	ID      int
+	Members []*aggregate.Block
+}
+
+// Size24 returns the total member size in /24 blocks.
+func (c *Cluster) Size24() int {
+	total := 0
+	for _, m := range c.Members {
+		total += m.Size()
+	}
+	return total
+}
+
+// Blocks24 returns all member /24s sorted.
+func (c *Cluster) Blocks24() []iputil.Block24 {
+	var out []iputil.Block24
+	for _, m := range c.Members {
+		out = append(out, m.Blocks24...)
+	}
+	iputil.SortBlocks(out)
+	return out
+}
+
+// BuildGraph constructs the similarity graph over aggregates: vertices are
+// the identical-set aggregates (the Section 6.3 pre-merge of weight-1
+// edges), edges connect aggregates with overlapping last-hop sets,
+// weighted by the similarity score. Aggregates with disjoint sets get no
+// edge.
+func BuildGraph(blocks []*aggregate.Block) *graph.Graph {
+	g := graph.New(len(blocks))
+	// Inverted index: last hop -> aggregate ids.
+	posting := make(map[iputil.Addr][]int)
+	for i, b := range blocks {
+		for _, lh := range b.LastHops {
+			posting[lh] = append(posting[lh], i)
+		}
+	}
+	type pair struct{ a, b int }
+	seen := make(map[pair]struct{})
+	for _, ids := range posting {
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				p := pair{a: ids[x], b: ids[y]}
+				if p.a > p.b {
+					p.a, p.b = p.b, p.a
+				}
+				if _, dup := seen[p]; dup {
+					continue
+				}
+				seen[p] = struct{}{}
+				w := aggregate.Similarity(blocks[p.a].LastHops, blocks[p.b].LastHops)
+				g.AddEdge(p.a, p.b, w)
+			}
+		}
+	}
+	return g
+}
+
+// Pipeline configures the clustering run.
+type Pipeline struct {
+	// Inflations are the sweep candidates; empty uses a standard range.
+	Inflations []float64
+	// MCL carries the remaining MCL options (inflation is overridden by
+	// the sweep).
+	MCL mcl.Options
+	// Seed drives deterministic pair sampling during validation.
+	Seed uint64
+}
+
+// Result is the output of Run.
+type Result struct {
+	// Clusters are the multi-aggregate MCL groups, ordered by first
+	// member.
+	Clusters []*Cluster
+	// Unclustered are aggregates left in singleton groups.
+	Unclustered []*aggregate.Block
+	// ChosenInflation is the sweep winner; SweepScores maps each
+	// candidate to its objective (lower is better).
+	ChosenInflation float64
+	SweepScores     map[float64]float64
+	// Components is the number of connected components processed.
+	Components int
+}
+
+func (p *Pipeline) inflations() []float64 {
+	if len(p.Inflations) > 0 {
+		return p.Inflations
+	}
+	return []float64{1.4, 1.8, 2.0, 2.4, 3.0}
+}
+
+// Run executes the full Section 6.3-6.4 procedure.
+func (p *Pipeline) Run(blocks []*aggregate.Block) *Result {
+	g := BuildGraph(blocks)
+	comps := g.Components()
+
+	// Only components with >= 2 vertices need MCL.
+	var multi [][]int
+	var singles []int
+	for _, c := range comps {
+		if len(c) >= 2 {
+			multi = append(multi, c)
+		} else {
+			singles = append(singles, c...)
+		}
+	}
+
+	res := &Result{SweepScores: make(map[float64]float64), Components: len(comps)}
+
+	// Parameter sweep: minimize the fraction of intra-cluster edges
+	// whose weight is below the median of all edge weights.
+	median, hasEdges := g.MedianWeight()
+	best := p.inflations()[0]
+	bestScore := 2.0
+	for _, inf := range p.inflations() {
+		score := 0.0
+		if hasEdges {
+			score = p.sweepObjective(g, multi, inf, median)
+		}
+		res.SweepScores[inf] = score
+		if score < bestScore {
+			bestScore = score
+			best = inf
+		}
+	}
+	res.ChosenInflation = best
+
+	// Final clustering at the chosen inflation.
+	opts := p.MCL
+	opts.Inflation = best
+	clustered := make(map[int]bool)
+	for _, comp := range multi {
+		sub, back := g.Subgraph(comp)
+		for _, cl := range mcl.Cluster(sub, opts) {
+			if len(cl) < 2 {
+				continue
+			}
+			c := &Cluster{ID: len(res.Clusters)}
+			for _, v := range cl {
+				c.Members = append(c.Members, blocks[back[v]])
+				clustered[back[v]] = true
+			}
+			res.Clusters = append(res.Clusters, c)
+		}
+	}
+	for i, b := range blocks {
+		if !clustered[i] {
+			res.Unclustered = append(res.Unclustered, b)
+		}
+	}
+	_ = singles
+	return res
+}
+
+// sweepObjective runs MCL at one inflation and scores it: the fraction of
+// intra-cluster edges with weight below the global median.
+func (p *Pipeline) sweepObjective(g *graph.Graph, comps [][]int, inflation, median float64) float64 {
+	opts := p.MCL
+	opts.Inflation = inflation
+	below, total := 0, 0
+	for _, comp := range comps {
+		sub, _ := g.Subgraph(comp)
+		clusters := mcl.Cluster(sub, opts)
+		// Map vertex -> cluster id within this component.
+		cid := make([]int, sub.Len())
+		for id, cl := range clusters {
+			for _, v := range cl {
+				cid[v] = id
+			}
+		}
+		for v := 0; v < sub.Len(); v++ {
+			for _, e := range sub.Neighbors(v) {
+				if v < e.To && cid[v] == cid[e.To] {
+					total++
+					if e.Weight < median {
+						below++
+					}
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(below) / float64(total)
+}
+
+// SimilarityDistribution returns the weighted distribution of pairwise
+// /24 similarity scores within a cluster: pairs inside one aggregate score
+// 1, pairs across aggregates score the aggregate similarity, each weighted
+// by the number of /24 pairs it represents. Returned as (score, weight)
+// samples.
+func (c *Cluster) SimilarityDistribution() (scores []float64, weights []float64) {
+	for i, a := range c.Members {
+		if n := a.Size(); n >= 2 {
+			scores = append(scores, 1.0)
+			weights = append(weights, float64(n*(n-1)/2))
+		}
+		for j := i + 1; j < len(c.Members); j++ {
+			b := c.Members[j]
+			scores = append(scores, aggregate.Similarity(a.LastHops, b.LastHops))
+			weights = append(weights, float64(a.Size()*b.Size()))
+		}
+	}
+	return scores, weights
+}
+
+// weightedQuantile computes the q-quantile of a weighted sample.
+func weightedQuantile(scores, weights []float64, q float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	type sw struct{ s, w float64 }
+	items := make([]sw, len(scores))
+	var total float64
+	for i := range scores {
+		items[i] = sw{s: scores[i], w: weights[i]}
+		total += weights[i]
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].s < items[j].s })
+	target := q * total
+	var cum float64
+	for _, it := range items {
+		cum += it.w
+		if cum >= target {
+			return it.s
+		}
+	}
+	return items[len(items)-1].s
+}
+
+// Rule parameters: our instantiation of the paper's manually-built rule
+// over the within-cluster similarity distribution (Section 6.6 describes
+// the rule's existence and quality but not its constants).
+const (
+	ruleMedianMin = 0.85
+	ruleFloorMin  = 0.25
+)
+
+// MatchesRule applies the screening rule: the weighted median pairwise
+// similarity must be high and no pair may fall below a floor.
+func (c *Cluster) MatchesRule() bool {
+	scores, weights := c.SimilarityDistribution()
+	if len(scores) == 0 {
+		return false
+	}
+	med := weightedQuantile(scores, weights, 0.5)
+	min := scores[0]
+	for _, s := range scores {
+		if s < min {
+			min = s
+		}
+	}
+	return med >= ruleMedianMin && min >= ruleFloorMin
+}
+
+// Reprober supplies the Section 6.5 validation measurements: the
+// exhaustively-observed last-hop set of a /24, or nil when it cannot be
+// measured.
+type Reprober interface {
+	Reprobe(b iputil.Block24) []iputil.Addr
+}
+
+// Validation is the outcome of reprobing one cluster.
+type Validation struct {
+	PairsChecked   int
+	IdenticalPairs int
+	// Homogeneous is true when every checked pair had identical sets —
+	// the paper's strict criterion.
+	Homogeneous bool
+	// Reprobed is the number of member /24s that yielded a last-hop
+	// set; ModalShare is the fraction of them agreeing on the most
+	// common set. Availability churn leaves a few members with
+	// incomplete sets even in a truly homogeneous cluster, so callers
+	// may accept clusters with a dominant modal set.
+	Reprobed   int
+	ModalShare float64
+}
+
+// Ratio is the fraction of identical pairs (Figure 9's metric).
+func (v Validation) Ratio() float64 {
+	if v.PairsChecked == 0 {
+		return 0
+	}
+	return float64(v.IdenticalPairs) / float64(v.PairsChecked)
+}
+
+// Validate reprobes up to maxPairs /24 pairs of the cluster (all pairs if
+// fewer) with the exhaustive strategy and checks last-hop set identity.
+func Validate(c *Cluster, rp Reprober, maxPairs int, seed uint64) Validation {
+	blocks := c.Blocks24()
+	if len(blocks) < 2 {
+		return Validation{}
+	}
+	sets := make(map[iputil.Block24]string)
+	lookup := func(b iputil.Block24) (string, bool) {
+		if k, ok := sets[b]; ok {
+			return k, k != ""
+		}
+		lhs := rp.Reprobe(b)
+		if len(lhs) == 0 {
+			sets[b] = ""
+			return "", false
+		}
+		iputil.SortAddrs(lhs)
+		k := aggregate.Key(lhs)
+		sets[b] = k
+		return k, true
+	}
+
+	var v Validation
+	totalPairs := len(blocks) * (len(blocks) - 1) / 2
+	if maxPairs <= 0 || maxPairs > totalPairs {
+		maxPairs = totalPairs
+	}
+	checkPair := func(a, b iputil.Block24) {
+		ka, oka := lookup(a)
+		kb, okb := lookup(b)
+		if !oka || !okb {
+			return
+		}
+		v.PairsChecked++
+		if ka == kb {
+			v.IdenticalPairs++
+		}
+	}
+	if maxPairs == totalPairs {
+		for i := 0; i < len(blocks); i++ {
+			for j := i + 1; j < len(blocks); j++ {
+				checkPair(blocks[i], blocks[j])
+			}
+		}
+	} else {
+		for d := 0; d < maxPairs; d++ {
+			i := rng.Intn(len(blocks), seed, uint64(c.ID), uint64(d), 0)
+			j := rng.Intn(len(blocks)-1, seed, uint64(c.ID), uint64(d), 1)
+			if j >= i {
+				j++
+			}
+			checkPair(blocks[i], blocks[j])
+		}
+	}
+	v.Homogeneous = v.PairsChecked > 0 && v.IdenticalPairs == v.PairsChecked
+
+	// Modal-set agreement across the reprobed members.
+	counts := make(map[string]int)
+	for _, k := range sets {
+		if k != "" {
+			counts[k]++
+			v.Reprobed++
+		}
+	}
+	modal := 0
+	for _, n := range counts {
+		if n > modal {
+			modal = n
+		}
+	}
+	if v.Reprobed > 0 {
+		v.ModalShare = float64(modal) / float64(v.Reprobed)
+	}
+	return v
+}
+
+// ApplyValidated produces the final aggregate list: validated clusters
+// merge into one block (union of members and of last-hop sets); members
+// of unvalidated clusters and unclustered aggregates pass through. This
+// realizes the Section 6.6 final results and the Figure 10 "after"
+// distribution.
+func ApplyValidated(res *Result, validated map[int]bool) []*aggregate.Block {
+	var out []*aggregate.Block
+	taken := make(map[*aggregate.Block]bool)
+	for _, c := range res.Clusters {
+		if !validated[c.ID] {
+			continue
+		}
+		merged := &aggregate.Block{}
+		lhSet := make(map[iputil.Addr]struct{})
+		for _, m := range c.Members {
+			taken[m] = true
+			merged.Blocks24 = append(merged.Blocks24, m.Blocks24...)
+			for _, lh := range m.LastHops {
+				lhSet[lh] = struct{}{}
+			}
+		}
+		iputil.SortBlocks(merged.Blocks24)
+		for lh := range lhSet {
+			merged.LastHops = append(merged.LastHops, lh)
+		}
+		iputil.SortAddrs(merged.LastHops)
+		out = append(out, merged)
+	}
+	for _, c := range res.Clusters {
+		if validated[c.ID] {
+			continue
+		}
+		for _, m := range c.Members {
+			if !taken[m] {
+				out = append(out, m)
+			}
+		}
+	}
+	out = append(out, res.Unclustered...)
+	for i, b := range out {
+		b.ID = i
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+// Package confidence builds and serves the empirical confidence table of
+// Section 3.2 / Figure 4: for each <cardinality, number of probed
+// addresses> pair, the probability that Hobbit recognizes a homogeneous
+// /24 when it probes only that many destinations.
+//
+// Like the paper, the table is computed from measured data rather than a
+// closed form: given fully-probed homogeneous blocks, random combinations
+// of their destinations are re-judged with Hobbit's hierarchy test, and
+// the per-cell success ratio becomes the confidence. Cells with fewer than
+// MinSamples observations carry no value (the paper requires 16,588 sample
+// points per depicted cell).
+package confidence
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hobbitscan/hobbit/internal/hobbit"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/rng"
+)
+
+// Cell identifies one <cardinality, probed> bucket.
+type Cell struct {
+	Cardinality int
+	Probed      int
+}
+
+// CellStats carries the tally of one cell.
+type CellStats struct {
+	Successes int
+	Total     int
+}
+
+// Confidence is the success ratio.
+func (s CellStats) Confidence() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Successes) / float64(s.Total)
+}
+
+// Table is the built confidence surface. It implements hobbit.Terminator.
+type Table struct {
+	cells map[Cell]CellStats
+	// MinSamples is the minimum observations a cell needs to carry a
+	// value.
+	MinSamples int
+	// Level is the confidence level Enough requires (default 0.95).
+	Level float64
+}
+
+// Confidence returns the confidence at a cell; ok is false when the cell
+// has insufficient samples.
+func (t *Table) Confidence(cardinality, probed int) (float64, bool) {
+	s, found := t.cells[Cell{Cardinality: cardinality, Probed: probed}]
+	if !found || s.Total < t.MinSamples {
+		return 0, false
+	}
+	return s.Confidence(), true
+}
+
+// Enough implements hobbit.Terminator: probing may stop once the cell has
+// a value at or above the level. Absent cells report false, which makes
+// Hobbit probe all active addresses, exactly as Section 3.5 prescribes.
+func (t *Table) Enough(cardinality, probed int) bool {
+	level := t.Level
+	if level == 0 {
+		level = 0.95
+	}
+	c, ok := t.Confidence(cardinality, probed)
+	return ok && c >= level
+}
+
+// Cells returns all populated cells sorted by (cardinality, probed), for
+// rendering the Figure 4 matrix.
+func (t *Table) Cells() []Cell {
+	out := make([]Cell, 0, len(t.cells))
+	for c, s := range t.cells {
+		if s.Total >= t.MinSamples {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cardinality != out[j].Cardinality {
+			return out[i].Cardinality < out[j].Cardinality
+		}
+		return out[i].Probed < out[j].Probed
+	})
+	return out
+}
+
+// Stats returns the raw tally of a cell (including under-sampled ones).
+func (t *Table) Stats(c Cell) CellStats { return t.cells[c] }
+
+var _ hobbit.Terminator = (*Table)(nil)
+
+// BlockObservation is the full grouping of one homogeneous /24: every
+// responsive address with its last-hop router, from exhaustive probing.
+type BlockObservation struct {
+	Block  iputil.Block24
+	Groups []hobbit.Group
+}
+
+// Cardinality is the number of distinct last-hop routers in the full
+// observation.
+func (o BlockObservation) Cardinality() int { return len(o.Groups) }
+
+// flatten returns (addr, group index) pairs.
+func (o BlockObservation) flatten() []flatAddr {
+	var out []flatAddr
+	for gi, g := range o.Groups {
+		for _, a := range g.Addrs {
+			out = append(out, flatAddr{addr: a, group: gi})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].addr < out[j].addr })
+	return out
+}
+
+type flatAddr struct {
+	addr  iputil.Addr
+	group int
+}
+
+// Builder computes a Table from fully-probed homogeneous blocks.
+type Builder struct {
+	// Samples is the target number of sample points per cell (the paper
+	// uses 16,588 for 99%/1% bounds).
+	Samples int
+	// MaxProbed bounds the subset sizes tabulated (the paper plots up
+	// to 50).
+	MaxProbed int
+	// MaxCardinality bounds the cardinality axis (the paper plots up to
+	// 40).
+	MaxCardinality int
+	// MaxPerBlock caps how many subsets are drawn from a single block
+	// per subset size, so scarce cardinalities don't degenerate to
+	// resampling one block.
+	MaxPerBlock int
+	// MinSubset is the smallest subset size (Hobbit needs 4 addresses).
+	MinSubset int
+	// Seed drives the deterministic subset draws.
+	Seed uint64
+}
+
+// DefaultBuilder mirrors the paper's parameters with a practical per-block
+// cap.
+func DefaultBuilder(seed uint64) Builder {
+	return Builder{
+		Samples:        16588,
+		MaxProbed:      50,
+		MaxCardinality: 40,
+		MaxPerBlock:    256,
+		MinSubset:      4,
+		Seed:           seed,
+	}
+}
+
+func (b Builder) withDefaults() Builder {
+	if b.Samples <= 0 {
+		b.Samples = 16588
+	}
+	if b.MaxProbed <= 0 {
+		b.MaxProbed = 50
+	}
+	if b.MaxCardinality <= 0 {
+		b.MaxCardinality = 40
+	}
+	if b.MaxPerBlock <= 0 {
+		b.MaxPerBlock = 256
+	}
+	if b.MinSubset < 4 {
+		b.MinSubset = 4
+	}
+	return b
+}
+
+// Build tabulates the success ratio of Hobbit's hierarchy test over random
+// destination combinations. Only blocks with cardinality >= 2 contribute:
+// single-last-hop blocks are governed by the 6-probe rule, not this table.
+func (b Builder) Build(obs []BlockObservation) (*Table, error) {
+	b = b.withDefaults()
+	blocksPerCard := make(map[int]int)
+	for _, o := range obs {
+		k := o.Cardinality()
+		if k >= 2 && k <= b.MaxCardinality {
+			blocksPerCard[k]++
+		}
+	}
+	if len(blocksPerCard) == 0 {
+		return nil, fmt.Errorf("confidence: no observations with cardinality >= 2")
+	}
+
+	t := &Table{
+		cells:      make(map[Cell]CellStats),
+		MinSamples: minSamplesFor(b.Samples),
+		Level:      0.95,
+	}
+	for oi, o := range obs {
+		k := o.Cardinality()
+		if k < 2 || k > b.MaxCardinality {
+			continue
+		}
+		flat := o.flatten()
+		if len(flat) < b.MinSubset {
+			continue
+		}
+		// Spread the per-cell sample budget across the blocks that
+		// share this cardinality.
+		draws := (b.Samples + blocksPerCard[k] - 1) / blocksPerCard[k]
+		if draws > b.MaxPerBlock {
+			draws = b.MaxPerBlock
+		}
+		maxN := len(flat)
+		if maxN > b.MaxProbed {
+			maxN = b.MaxProbed
+		}
+		for n := b.MinSubset; n <= maxN; n++ {
+			cell := Cell{Cardinality: k, Probed: n}
+			for d := 0; d < draws; d++ {
+				ok := b.judgeSubset(flat, len(o.Groups), n, uint64(oi), uint64(d))
+				s := t.cells[cell]
+				s.Total++
+				if ok {
+					s.Successes++
+				}
+				t.cells[cell] = s
+			}
+		}
+	}
+	return t, nil
+}
+
+// judgeSubset draws a deterministic random n-subset and applies Hobbit's
+// homogeneity determination to the partial grouping.
+func (b Builder) judgeSubset(flat []flatAddr, numGroups, n int, blockKey, drawKey uint64) bool {
+	// Partial Fisher-Yates over a copied index slice.
+	idx := make([]int, len(flat))
+	for i := range idx {
+		idx[i] = i
+	}
+	members := make([][]iputil.Addr, numGroups)
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(flat)-i, b.Seed, blockKey, uint64(n), drawKey, uint64(i))
+		idx[i], idx[j] = idx[j], idx[i]
+		fa := flat[idx[i]]
+		members[fa.group] = append(members[fa.group], fa.addr)
+	}
+	groups := make([]hobbit.Group, 0, numGroups)
+	for gi, addrs := range members {
+		if len(addrs) > 0 {
+			groups = append(groups, hobbit.Group{LastHop: iputil.Addr(gi), Addrs: addrs})
+		}
+	}
+	if len(groups) == 1 {
+		// All sampled addresses share a last hop: Hobbit would judge
+		// homogeneous once the 6-probe rule is met.
+		return n >= 6
+	}
+	return hobbit.NonHierarchical(groups)
+}
+
+// minSamplesFor scales the paper's depiction threshold with the configured
+// budget: the full budget keeps the 16,588-point rule, smaller test
+// budgets require proportionally fewer.
+func minSamplesFor(samples int) int {
+	if samples >= 16588 {
+		return 16588
+	}
+	min := samples / 2
+	if min < 1 {
+		min = 1
+	}
+	return min
+}

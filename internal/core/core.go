@@ -1,0 +1,147 @@
+// Package core is the public face of the Hobbit reproduction: one Pipeline
+// that runs the paper end to end — census scan, per-/24 homogeneity
+// measurement, identical-set aggregation, MCL clustering of similar
+// blocks, and reprobe validation — over any probing surface.
+//
+// The stages can also be driven individually through the packages they
+// live in (zmap, hobbit, aggregate, cluster); Pipeline wires them together
+// with the paper's defaults.
+package core
+
+import (
+	"errors"
+
+	"github.com/hobbitscan/hobbit/internal/aggregate"
+	"github.com/hobbitscan/hobbit/internal/cluster"
+	"github.com/hobbitscan/hobbit/internal/hobbit"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/probe"
+	"github.com/hobbitscan/hobbit/internal/zmap"
+)
+
+// Pipeline configures an end-to-end run.
+type Pipeline struct {
+	// Net answers measurement-time probes; Scanner answers census-time
+	// echo requests. A netsim.World (wrapped in probe.SimNetwork for
+	// Net) satisfies both.
+	Net     probe.Network
+	Scanner zmap.Scanner
+	// Blocks is the /24 universe to consider.
+	Blocks []iputil.Block24
+	// Seed drives the deterministic shuffles and samples.
+	Seed uint64
+	// Workers bounds measurement concurrency (0 = GOMAXPROCS).
+	Workers int
+	// MDAOpts tunes the per-destination MDA runs.
+	MDAOpts probe.MDAOptions
+	// Terminator overrides the hierarchical-sufficiency rule (nil uses
+	// the MDA stopping rule; a confidence.Table reproduces Figure 4's).
+	Terminator hobbit.Terminator
+	// MinActive is the census/probe-time eligibility threshold (4).
+	MinActive int
+	// ValidatePairs bounds reprobed pairs per cluster (the paper uses
+	// 20,000; 0 means all pairs).
+	ValidatePairs int
+	// SkipClustering stops after identical-set aggregation.
+	SkipClustering bool
+}
+
+// Output carries every intermediate and final artifact of a run.
+type Output struct {
+	// Dataset is the census result; Eligible the /24s meeting the
+	// selection criteria.
+	Dataset  *zmap.Dataset
+	Eligible []iputil.Block24
+	// Campaign is the per-/24 measurement result.
+	Campaign *hobbit.Result
+	// Aggregates are the Section 5 identical-set blocks.
+	Aggregates []*aggregate.Block
+	// Clustering and Validations are the Section 6 artifacts (nil when
+	// SkipClustering). Validated records which clusters were accepted
+	// for merging.
+	Clustering  *cluster.Result
+	Validations map[int]cluster.Validation
+	Validated   map[int]bool
+	// Final is the post-validation block list: validated clusters
+	// merged, everything else passed through.
+	Final []*aggregate.Block
+}
+
+func (p *Pipeline) minActive() int {
+	if p.MinActive > 0 {
+		return p.MinActive
+	}
+	return 4
+}
+
+// Run executes the pipeline.
+func (p *Pipeline) Run() (*Output, error) {
+	if p.Net == nil || p.Scanner == nil {
+		return nil, errors.New("core: Pipeline needs Net and Scanner")
+	}
+	if len(p.Blocks) == 0 {
+		return nil, errors.New("core: no blocks to measure")
+	}
+	out := &Output{}
+	out.Dataset = zmap.Scan(p.Scanner, p.Blocks)
+	out.Eligible = out.Dataset.EligibleBlocks(p.Blocks, p.minActive())
+
+	measurer := &hobbit.Measurer{
+		Net:       p.Net,
+		Opts:      p.MDAOpts,
+		Term:      p.Terminator,
+		MinActive: p.minActive(),
+		Seed:      p.Seed,
+	}
+	campaign := &hobbit.Campaign{Measurer: measurer, Dataset: out.Dataset, Workers: p.Workers}
+	out.Campaign = campaign.Run(out.Eligible)
+
+	out.Aggregates = aggregate.Identical(out.Campaign.HomogeneousBlocks())
+	if p.SkipClustering {
+		out.Final = out.Aggregates
+		return out, nil
+	}
+
+	pipe := &cluster.Pipeline{Seed: p.Seed}
+	out.Clustering = pipe.Run(out.Aggregates)
+
+	rp := &exhaustiveReprober{m: &hobbit.Measurer{
+		Net:        p.Net,
+		Opts:       p.MDAOpts,
+		Term:       p.Terminator,
+		MinActive:  p.minActive(),
+		Seed:       p.Seed,
+		Exhaustive: true,
+	}, ds: out.Dataset}
+	out.Validations = make(map[int]cluster.Validation, len(out.Clustering.Clusters))
+	validated := make(map[int]bool)
+	for _, c := range out.Clustering.Clusters {
+		v := cluster.Validate(c, rp, p.ValidatePairs, p.Seed)
+		out.Validations[c.ID] = v
+		// Accept the paper's strict all-pairs-identical criterion, or a
+		// dominant modal set: availability churn leaves a few members
+		// of a truly homogeneous cluster with incomplete observations,
+		// and a >=90% modal agreement cannot come from a cluster that
+		// wrongly mixed two aggregates.
+		if v.Homogeneous || (v.Reprobed >= 4 && v.ModalShare >= 0.9) {
+			validated[c.ID] = true
+		}
+	}
+	out.Validated = validated
+	out.Final = cluster.ApplyValidated(out.Clustering, validated)
+	return out, nil
+}
+
+// exhaustiveReprober adapts the Section 6.5 modified probing strategy to
+// the cluster.Reprober interface.
+type exhaustiveReprober struct {
+	m  *hobbit.Measurer
+	ds *zmap.Dataset
+}
+
+// Reprobe measures the block exhaustively and returns its observed
+// last-hop set (nil when the block no longer answers usefully).
+func (r *exhaustiveReprober) Reprobe(b iputil.Block24) []iputil.Addr {
+	br := r.m.MeasureBlock(b, r.ds.ActivesBy26(b))
+	return br.LastHops
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/netsim"
+	"github.com/hobbitscan/hobbit/internal/probe"
+)
+
+func testPipeline(t *testing.T, n int) (*netsim.World, *Pipeline) {
+	t.Helper()
+	cfg := netsim.DefaultConfig(n)
+	cfg.BigBlockScale = 0.02
+	w, err := netsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, &Pipeline{
+		Net:     probe.NewSimNetwork(w),
+		Scanner: w,
+		Blocks:  w.Blocks(),
+		Seed:    7,
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline is slow")
+	}
+	w, p := testPipeline(t, 1200)
+	out, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Eligible) == 0 {
+		t.Fatal("no eligible blocks")
+	}
+	sum := out.Campaign.Summary()
+	if sum.Total != len(out.Eligible) {
+		t.Fatalf("campaign covered %d of %d", sum.Total, len(out.Eligible))
+	}
+	if len(out.Aggregates) == 0 || len(out.Aggregates) > sum.Homogeneous() {
+		t.Errorf("aggregates = %d of %d homogeneous", len(out.Aggregates), sum.Homogeneous())
+	}
+	if out.Clustering == nil {
+		t.Fatal("clustering skipped unexpectedly")
+	}
+	// Final list is never longer than the aggregate list.
+	if len(out.Final) > len(out.Aggregates) {
+		t.Errorf("final %d > aggregates %d", len(out.Final), len(out.Aggregates))
+	}
+	// Conservation: final blocks cover exactly the aggregated /24s.
+	total24 := 0
+	for _, b := range out.Aggregates {
+		total24 += b.Size()
+	}
+	final24 := 0
+	for _, b := range out.Final {
+		final24 += b.Size()
+	}
+	if total24 != final24 {
+		t.Errorf("/24 conservation broken: %d -> %d", total24, final24)
+	}
+	// Validated clusters must merge (when any exist).
+	merged := 0
+	for id, v := range out.Validations {
+		if v.Homogeneous {
+			merged++
+		}
+		_ = id
+	}
+	if merged > 0 && len(out.Final) >= len(out.Aggregates) {
+		t.Error("validated clusters did not reduce the block count")
+	}
+	// True aggregates of the world should mostly survive as single
+	// final blocks: spot-check one multi-/24 pop.
+	pops := w.BigBlockPops()
+	if egi := pops["egi"]; len(egi) > 0 {
+		blocks := w.AggregateBlocks(egi[0])
+		// Count how many final blocks the pop's measured /24s are
+		// spread across.
+		owner := make(map[int]bool)
+		for _, b := range blocks {
+			for _, fb := range out.Final {
+				for _, m := range fb.Blocks24 {
+					if m == b {
+						owner[fb.ID] = true
+					}
+				}
+			}
+		}
+		if len(owner) > len(blocks) {
+			t.Errorf("egi pop fragmented into %d final blocks", len(owner))
+		}
+	}
+}
+
+func TestPipelineSkipClustering(t *testing.T) {
+	_, p := testPipeline(t, 300)
+	p.SkipClustering = true
+	out, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Clustering != nil || out.Validations != nil {
+		t.Error("clustering artifacts present despite skip")
+	}
+	if len(out.Final) != len(out.Aggregates) {
+		t.Error("final should equal aggregates when skipping")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := (&Pipeline{}).Run(); err == nil {
+		t.Error("missing Net/Scanner should error")
+	}
+	w, _ := testPipeline(t, 100)
+	p := &Pipeline{Net: probe.NewSimNetwork(w), Scanner: w}
+	if _, err := p.Run(); err == nil {
+		t.Error("missing blocks should error")
+	}
+}

@@ -1,0 +1,39 @@
+package eval
+
+import "sort"
+
+func init() {
+	register("bgpmix", "Section 1: BGP prefix-length mix (53% of prefixes are /24s)", runBGPMix)
+}
+
+// runBGPMix reproduces the introductory statistic that motivates the /24
+// as a unit: in a RouteViews-style snapshot of the world's routing table,
+// /24s are the most common prefix length by far.
+func runBGPMix(l *Lab) (*Report, error) {
+	r := newReport("bgpmix", "BGP prefix-length mix")
+	prefixes := l.World.BGPPrefixes()
+	if len(prefixes) == 0 {
+		r.printf("empty BGP table")
+		return r, nil
+	}
+	counts := make(map[int]int)
+	for _, p := range prefixes {
+		counts[p.Len]++
+	}
+	lens := make([]int, 0, len(counts))
+	for ln := range counts {
+		lens = append(lens, ln)
+	}
+	sort.Ints(lens)
+	r.printf("%-8s %10s %8s", "prefix", "count", "share")
+	for _, ln := range lens {
+		r.printf("/%-7d %10d %7.1f%%", ln, counts[ln],
+			100*float64(counts[ln])/float64(len(prefixes)))
+	}
+	share24 := float64(counts[24]) / float64(len(prefixes))
+	r.Metrics["prefixes"] = float64(len(prefixes))
+	r.Metrics["share_24"] = share24
+	r.printf("table size: %d prefixes; /24 share: %.1f%% (paper: 53%% of the RouteViews snapshot)",
+		len(prefixes), 100*share24)
+	return r, nil
+}

@@ -1,0 +1,208 @@
+package eval
+
+import (
+	"strings"
+
+	"github.com/hobbitscan/hobbit/internal/aggregate"
+	"github.com/hobbitscan/hobbit/internal/core"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/rttmodel"
+	"github.com/hobbitscan/hobbit/internal/stats"
+)
+
+func init() {
+	register("fig5", "Figure 5: size distribution of identical-set aggregates", runFig5)
+	register("table5", "Table 5: top 15 largest homogeneous blocks", runTable5)
+	register("fig6", "Figure 6: first-RTT inflation of broadband blocks (cellular detection)", runFig6)
+	register("fig7", "Figure 7: longest-common-prefix distributions within aggregates", runFig7)
+	register("fig8", "Figure 8: adjacency visualization of the top 9 blocks", runFig8)
+}
+
+func runFig5(l *Lab) (*Report, error) {
+	r := newReport("fig5", "aggregate size distribution")
+	out, err := l.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	h := aggregate.SizeHistogram(out.Aggregates)
+	homog := 0
+	for _, b := range out.Aggregates {
+		homog += b.Size()
+	}
+	r.printf("homogeneous /24s: %d -> aggregates: %d", homog, len(out.Aggregates))
+	r.Metrics["homogeneous_24s"] = float64(homog)
+	r.Metrics["aggregates"] = float64(len(out.Aggregates))
+	r.Metrics["size1"] = float64(h.Count(1))
+	r.Metrics["size_ge16"] = float64(h.CountAtLeast(16))
+	r.printf("size 1 aggregates: %d; size >= 16: %d; size >= 64: %d",
+		h.Count(1), h.CountAtLeast(16), h.CountAtLeast(64))
+	r.printf("%-14s %s", "size bucket", "count")
+	for _, bc := range h.PowBuckets() {
+		r.printf("  [2^%-2d,2^%-2d) %8d", bc.Exp, bc.Exp+1, bc.Count)
+	}
+	r.printf("paper: 1.77M /24s -> 0.53M aggregates; 21,513 with >=16 /24s; 2,430 with >=64")
+	return r, nil
+}
+
+func runTable5(l *Lab) (*Report, error) {
+	r := newReport("table5", "top 15 largest homogeneous blocks")
+	out, err := l.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	top := aggregate.TopBySize(out.Aggregates, 15)
+	r.printf("%-5s %-6s %-10s %-22s %-18s %s", "rank", "size", "AS", "organization", "geo-location", "type")
+	hostingCount := 0
+	for i, b := range top {
+		info, ok := l.World.Geo().Lookup(b.Blocks24[0])
+		org, loc, typ, asn := "?", "?", "?", 0
+		if ok {
+			org, loc, typ, asn = info.Org, info.Country, info.Type.String(), info.ASN
+			if city := l.World.Geo().City(b.Blocks24[0]); city != "" {
+				loc = loc + " (" + city + ")"
+			}
+			if strings.HasPrefix(typ, "Hosting") {
+				hostingCount++
+			}
+		}
+		r.printf("%-5d %-6d AS%-8d %-22s %-18s %s", i+1, b.Size(), asn, org, loc, typ)
+	}
+	if len(top) > 0 {
+		r.Metrics["top1_size"] = float64(top[0].Size())
+		r.Metrics["hosting_in_top"] = float64(hostingCount)
+	}
+	r.printf("paper: sizes 1251..679; 7 of 15 blocks are hosting companies")
+	return r, nil
+}
+
+func runFig6(l *Lab) (*Report, error) {
+	r := newReport("fig6", "first-RTT inflation per block")
+	out, err := l.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	cfgDet := rttmodel.DefaultDetectorConfig()
+	// Sample a bounded number of addresses per aggregate (the paper
+	// probes 200 /24s x all actives; we bound for laboratory scale).
+	top := aggregate.TopBySize(out.Aggregates, 15)
+	r.printf("%-22s %-8s %10s %12s %10s", "block", "kind", "median(s)", "frac>0.5s", "verdict")
+	cellularFound := 0
+	stableFound := 0
+	for _, b := range top {
+		info, _ := l.World.Geo().Lookup(b.Blocks24[0])
+		addrs := sampleActives(l, out, b, 400)
+		if len(addrs) < 30 {
+			continue
+		}
+		v := rttmodel.Detect(l.Net.World, addrs, cfgDet)
+		if v.Probed < 20 {
+			continue
+		}
+		verdict := "stable"
+		if v.Cellular {
+			verdict = "cellular"
+			cellularFound++
+		} else {
+			stableFound++
+		}
+		r.printf("%-22s %-8s %10.3f %11.1f%% %10s",
+			info.Org, info.Type, v.Diffs.Median(), 100*v.FractionAbove, verdict)
+	}
+	r.Metrics["cellular_blocks"] = float64(cellularFound)
+	r.Metrics["stable_blocks"] = float64(stableFound)
+	r.printf("paper: Tele2/OCN/Verizon blocks show >=0.5s first-RTT inflation; SingTel/SoftBank are ~0")
+	return r, nil
+}
+
+// sampleActives draws up to n probe-time-responsive addresses from an
+// aggregate.
+func sampleActives(l *Lab, out *core.Output, b *aggregate.Block, n int) []iputil.Addr {
+	var addrs []iputil.Addr
+	for _, blk := range b.Blocks24 {
+		for _, a := range out.Dataset.Actives(blk) {
+			if l.World.RespondsNow(a) {
+				addrs = append(addrs, a)
+				if len(addrs) >= n {
+					return addrs
+				}
+			}
+		}
+	}
+	return addrs
+}
+
+func runFig7(l *Lab) (*Report, error) {
+	r := newReport("fig7", "LCP distributions")
+	out, err := l.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	var adjacent, minmax stats.CDF
+	for _, b := range out.Aggregates {
+		for _, lcp := range aggregate.AdjacentLCPs(b) {
+			adjacent.Add(float64(lcp))
+		}
+		if mm, ok := aggregate.MinMaxLCP(b); ok {
+			minmax.Add(float64(mm))
+		}
+	}
+	if adjacent.N() == 0 {
+		r.printf("no multi-/24 aggregates")
+		return r, nil
+	}
+	fracAdj23 := 1 - adjacent.At(22)
+	fracAdj20 := 1 - adjacent.At(19)
+	fracMM1 := minmax.At(1)
+	r.printf("adjacent-pair LCPs: n=%d; =23: %.1f%%; >=20: %.1f%% (paper: >30%% and ~70%%)",
+		adjacent.N(), 100*fracAdj23, 100*fracAdj20)
+	r.printf("min/max LCPs: n=%d; <=1: %.1f%% (paper: ~40%%); =23: %.1f%% (paper: ~5%%)",
+		minmax.N(), 100*fracMM1, 100*(1-minmax.At(22)))
+	r.Metrics["adjacent_lcp23"] = fracAdj23
+	r.Metrics["adjacent_lcp_ge20"] = fracAdj20
+	r.Metrics["minmax_lcp_le1"] = fracMM1
+	r.printf("adjacent CDF: %s", adjacent.RenderCDF(24))
+	r.printf("min/max  CDF: %s", minmax.RenderCDF(24))
+	return r, nil
+}
+
+func runFig8(l *Lab) (*Report, error) {
+	r := newReport("fig8", "adjacency visualization")
+	out, err := l.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	top := aggregate.TopBySize(out.Aggregates, 9)
+	for i, b := range top {
+		info, _ := l.World.Geo().Lookup(b.Blocks24[0])
+		r.printf("#%d %s (size %d)", i+1, info.Org, b.Size())
+		r.printf("  %s", renderLines(aggregate.AdjacencyLines(b), 72))
+	}
+	if len(top) > 0 {
+		r.Metrics["rendered"] = float64(len(top))
+	}
+	r.printf("paper: large blocks consist of several contiguous segments separated by gaps")
+	return r, nil
+}
+
+// renderLines draws the Figure 8 vertical-line strip in ASCII: '|' where a
+// /24 lands, '.' in gaps, scaled to the given width.
+func renderLines(xs []float64, width int) string {
+	if len(xs) == 0 {
+		return "(empty)"
+	}
+	span := xs[len(xs)-1] - 1
+	if span <= 0 {
+		span = 1
+	}
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = '.'
+	}
+	for _, x := range xs {
+		pos := int((x - 1) / span * float64(width-1))
+		if pos >= 0 && pos < width {
+			row[pos] = '|'
+		}
+	}
+	return string(row)
+}

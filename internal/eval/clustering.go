@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"github.com/hobbitscan/hobbit/internal/aggregate"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/stats"
+)
+
+func init() {
+	register("fig9", "Figure 9: identical-pair ratio for rule-matching vs non-matching clusters", runFig9)
+	register("fig10", "Figure 10: cluster-size distribution change from MCL", runFig10)
+	register("mclstats", "Section 6.4-6.6: clustering pipeline statistics", runMCLStats)
+}
+
+func runFig9(l *Lab) (*Report, error) {
+	r := newReport("fig9", "identical-pair ratio by rule match")
+	out, err := l.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	if out.Clustering == nil || len(out.Clustering.Clusters) == 0 {
+		r.printf("no clusters formed")
+		return r, nil
+	}
+	var matched, unmatched stats.CDF
+	for _, c := range out.Clustering.Clusters {
+		v, ok := out.Validations[c.ID]
+		if !ok || v.PairsChecked == 0 {
+			continue
+		}
+		if c.MatchesRule() {
+			matched.Add(v.Ratio())
+		} else {
+			unmatched.Add(v.Ratio())
+		}
+	}
+	renderCDFLine(r, "clusters matching rule", &matched)
+	renderCDFLine(r, "clusters not matching", &unmatched)
+	if matched.N() > 0 {
+		r.Metrics["matched_median_ratio"] = matched.Median()
+		r.Metrics["matched_frac_ge06"] = 1 - matched.At(0.6-1e-9)
+	}
+	if unmatched.N() > 0 {
+		r.Metrics["unmatched_median_ratio"] = unmatched.Median()
+	}
+	r.printf("paper: ~90%% of rule-matching clusters have ratio > 0.6; ~60%% of the rest have ratio 0")
+	return r, nil
+}
+
+func runFig10(l *Lab) (*Report, error) {
+	r := newReport("fig10", "cluster-size distribution change")
+	out, err := l.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	before := aggregate.SizeHistogram(out.Aggregates)
+	after := aggregate.SizeHistogram(out.Final)
+	r.printf("%-14s %10s %10s %10s", "size bucket", "before", "after", "change")
+	bb := bucketsMap(before)
+	ab := bucketsMap(after)
+	for exp := 0; exp <= 11; exp++ {
+		b, a := bb[exp], ab[exp]
+		if b == 0 && a == 0 {
+			continue
+		}
+		r.printf("  [2^%-2d,2^%-2d) %10d %10d %+10d", exp, exp+1, b, a, a-b)
+	}
+	validated := 0
+	mergedMembers := 0
+	for _, c := range out.Clustering.Clusters {
+		if out.Validated[c.ID] {
+			validated++
+			mergedMembers += len(c.Members)
+		}
+	}
+	r.Metrics["blocks_before"] = float64(len(out.Aggregates))
+	r.Metrics["blocks_after"] = float64(len(out.Final))
+	r.Metrics["clusters_validated"] = float64(validated)
+	r.Metrics["aggregates_merged"] = float64(mergedMembers)
+	r.printf("blocks: %d -> %d; %d validated clusters merged %d aggregates",
+		len(out.Aggregates), len(out.Final), validated, mergedMembers)
+	r.printf("paper: 8,931 clusters merged 33,023 aggregates; 532,850 -> 508,758 blocks")
+
+	// The Dublin EC2 story: the starved aggregate should reassemble.
+	if pops := l.World.BigBlockPops()["amazon-dub"]; len(pops) > 0 {
+		truth := l.World.AggregateBlocks(pops[0])
+		bestBefore := largestCovering(out.Aggregates, truth)
+		bestAfter := largestCovering(out.Final, truth)
+		r.Metrics["dublin_before"] = float64(bestBefore)
+		r.Metrics["dublin_after"] = float64(bestAfter)
+		r.printf("Dublin EC2 aggregate: largest single block covering it: %d /24s before, %d after (planted: %d)",
+			bestBefore, bestAfter, len(truth))
+	}
+	return r, nil
+}
+
+func bucketsMap(h *stats.Histogram) map[int]int {
+	out := make(map[int]int)
+	for _, bc := range h.PowBuckets() {
+		out[bc.Exp] = bc.Count
+	}
+	return out
+}
+
+// largestCovering returns the size of the largest aggregate consisting
+// solely of /24s from the truth set.
+func largestCovering(blocks []*aggregate.Block, truth []iputil.Block24) int {
+	inTruth := make(map[iputil.Block24]bool, len(truth))
+	for _, b := range truth {
+		inTruth[b] = true
+	}
+	best := 0
+	for _, blk := range blocks {
+		all := true
+		for _, b := range blk.Blocks24 {
+			if !inTruth[b] {
+				all = false
+				break
+			}
+		}
+		if all && blk.Size() > best {
+			best = blk.Size()
+		}
+	}
+	return best
+}
+
+func runMCLStats(l *Lab) (*Report, error) {
+	r := newReport("mclstats", "clustering pipeline statistics")
+	out, err := l.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	cl := out.Clustering
+	if cl == nil {
+		r.printf("clustering skipped")
+		return r, nil
+	}
+	clusteredAggs := 0
+	for _, c := range cl.Clusters {
+		clusteredAggs += len(c.Members)
+	}
+	r.printf("aggregates (vertices): %d", len(out.Aggregates))
+	r.printf("connected components: %d", cl.Components)
+	r.printf("MCL clusters (multi-member): %d covering %d aggregates; unclustered: %d",
+		len(cl.Clusters), clusteredAggs, len(cl.Unclustered))
+	r.printf("chosen inflation: %.2f (sweep: %v)", cl.ChosenInflation, cl.SweepScores)
+	validated := 0
+	for _, c := range cl.Clusters {
+		if out.Validated[c.ID] {
+			validated++
+		}
+	}
+	r.printf("clusters validated homogeneous by reprobing: %d", validated)
+	r.Metrics["vertices"] = float64(len(out.Aggregates))
+	r.Metrics["components"] = float64(cl.Components)
+	r.Metrics["clusters"] = float64(len(cl.Clusters))
+	r.Metrics["clustered_aggregates"] = float64(clusteredAggs)
+	r.Metrics["validated"] = float64(validated)
+	r.printf("paper: 0.53M vertices; 17,563 components; 58k clusters over 413k vertices; ~9k validated")
+	return r, nil
+}

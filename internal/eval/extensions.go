@@ -1,0 +1,187 @@
+package eval
+
+import (
+	"github.com/hobbitscan/hobbit/internal/core"
+	"github.com/hobbitscan/hobbit/internal/hobbit"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/probe"
+)
+
+func init() {
+	register("longitudinal", "Extension (paper future work): homogeneity drift across epochs", runLongitudinal)
+	register("vantage", "Extension (Section 6.1): multi-vantage probing completes last-hop sets", runVantage)
+}
+
+// runLongitudinal re-measures the same universe at successive epochs:
+// availability churn moves blocks in and out of measurability, and
+// address-exhaustion-driven splits convert homogeneous /24s into
+// heterogeneous ones over time — the longitudinal study the paper names
+// as future work.
+func runLongitudinal(l *Lab) (*Report, error) {
+	r := newReport("longitudinal", "homogeneity drift across epochs")
+	defer l.World.SetEpoch(0)
+
+	type snapshot struct {
+		homog    map[iputil.Block24]bool
+		share    float64
+		measured int
+	}
+	const epochs = 4
+	snaps := make([]snapshot, 0, epochs)
+	blocks := strideSample(l.World.Blocks(), 1500)
+
+	for e := 0; e < epochs; e++ {
+		l.World.SetEpoch(e)
+		p := &core.Pipeline{
+			Net:            l.Net,
+			Scanner:        l.World,
+			Blocks:         blocks,
+			Seed:           l.Seed + uint64(e),
+			SkipClustering: true,
+		}
+		out, err := p.Run()
+		if err != nil {
+			return nil, err
+		}
+		sum := out.Campaign.Summary()
+		snap := snapshot{homog: make(map[iputil.Block24]bool), measured: sum.Measurable()}
+		for b, br := range out.Campaign.Blocks {
+			if br.Class.Homogeneous() {
+				snap.homog[b] = true
+			}
+		}
+		if sum.Measurable() > 0 {
+			snap.share = float64(sum.Homogeneous()) / float64(sum.Measurable())
+		}
+		snaps = append(snaps, snap)
+	}
+
+	r.printf("%-8s %10s %12s %10s %10s", "epoch", "measured", "homog-share", "gained", "lost")
+	for e, s := range snaps {
+		gained, lost := 0, 0
+		if e > 0 {
+			for b := range s.homog {
+				if !snaps[e-1].homog[b] {
+					gained++
+				}
+			}
+			for b := range snaps[e-1].homog {
+				if !s.homog[b] {
+					lost++
+				}
+			}
+		}
+		r.printf("%-8d %10d %11.1f%% %10d %10d", e, s.measured, 100*s.share, gained, lost)
+	}
+	r.Metrics["share_epoch0"] = snaps[0].share
+	r.Metrics["share_epoch3"] = snaps[len(snaps)-1].share
+
+	// Scheduled splitters that were measured before and after their
+	// split epoch should flip from homogeneous to not.
+	flips, tracked := 0, 0
+	for b, se := range l.World.FutureSplitters() {
+		if se >= epochs {
+			continue
+		}
+		before, after := false, false
+		for e := 0; e < se && !before; e++ {
+			before = snaps[e].homog[b]
+		}
+		if before {
+			tracked++
+			for e := se; e < epochs; e++ {
+				after = after || snaps[e].homog[b]
+			}
+			if !after {
+				flips++
+			}
+		}
+	}
+	if tracked > 0 {
+		r.Metrics["splitters_tracked"] = float64(tracked)
+		r.Metrics["splitters_flipped"] = float64(flips)
+		r.printf("scheduled splits observed: %d of %d tracked splitters left the homogeneous set", flips, tracked)
+	}
+	r.printf("homogeneity share stays stable while individual blocks churn and split")
+	return r, nil
+}
+
+// runVantage measures multi-last-hop homogeneous blocks from one vantage
+// and from three, comparing how complete the observed last-hop sets are —
+// Section 6.1's argument that varying vantage points reveals more
+// per-destination paths for source-hashing load balancers.
+func runVantage(l *Lab) (*Report, error) {
+	r := newReport("vantage", "multi-vantage last-hop completeness")
+	out, err := l.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	nv := l.World.NumVantages()
+	if nv < 2 {
+		r.printf("world has a single vantage")
+		return r, nil
+	}
+
+	nets := make([]probe.Network, nv)
+	nets[0] = l.Net
+	for v := 1; v < nv; v++ {
+		nets[v] = probe.NewVantageNetwork(l.World.Vantage(v))
+	}
+
+	type tally struct {
+		one, multi, blocks float64
+	}
+	var sens, insens tally
+	examined := 0
+	for _, b := range strideSample(out.Eligible, 400) {
+		k := l.World.TrueLastHopCardinality(b)
+		if k < 2 || l.World.UnresponsiveLastHop(b) {
+			continue
+		}
+		if hom, _ := l.World.TrueHomogeneous(b); !hom {
+			continue
+		}
+		by26 := out.Dataset.ActivesBy26(b)
+		union := make(map[iputil.Addr]struct{})
+		var oneVantage int
+		for v := 0; v < nv; v++ {
+			m := &hobbit.Measurer{Net: nets[v], Seed: l.Seed, Exhaustive: true}
+			br := m.MeasureBlock(b, by26)
+			for _, lh := range br.LastHops {
+				union[lh] = struct{}{}
+			}
+			if v == 0 {
+				oneVantage = len(br.LastHops)
+			}
+		}
+		t := &insens
+		if l.World.SrcSensitive(b) {
+			t = &sens
+		}
+		t.one += float64(oneVantage) / float64(k)
+		t.multi += float64(len(union)) / float64(k)
+		t.blocks++
+		if examined++; examined >= 120 {
+			break
+		}
+	}
+	if sens.blocks == 0 && insens.blocks == 0 {
+		r.printf("no multi-last-hop blocks examined")
+		return r, nil
+	}
+	r.printf("%-28s %10s %14s %14s", "load-balancer hashing", "blocks", "1 vantage", "3 vantages")
+	if insens.blocks > 0 {
+		r.printf("%-28s %10.0f %13.1f%% %13.1f%%", "destination only",
+			insens.blocks, 100*insens.one/insens.blocks, 100*insens.multi/insens.blocks)
+		r.Metrics["insensitive_gain"] = insens.multi/insens.blocks - insens.one/insens.blocks
+	}
+	if sens.blocks > 0 {
+		r.printf("%-28s %10.0f %13.1f%% %13.1f%%", "source + destination",
+			sens.blocks, 100*sens.one/sens.blocks, 100*sens.multi/sens.blocks)
+		r.Metrics["sensitive_one"] = sens.one / sens.blocks
+		r.Metrics["sensitive_multi"] = sens.multi / sens.blocks
+	}
+	r.printf("completeness = observed last hops / planted K, exhaustive strategy")
+	r.printf("Section 6.1: extra vantages only help when balancers hash the source address")
+	return r, nil
+}

@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/stats"
+)
+
+func TestStrideSample(t *testing.T) {
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = i
+	}
+	got := strideSample(in, 10)
+	if len(got) != 10 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// Spread: first element near the start, last near the end.
+	if got[0] != 0 || got[9] < 80 {
+		t.Errorf("sample not spread: %v", got)
+	}
+	// Strictly increasing (a stride never revisits).
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("not increasing at %d: %v", i, got)
+		}
+	}
+	// Degenerate cases.
+	if got := strideSample(in, 200); len(got) != 100 {
+		t.Errorf("over-asking should return all, got %d", len(got))
+	}
+	if got := strideSample(in, 0); len(got) != 100 {
+		t.Errorf("n=0 should return all, got %d", len(got))
+	}
+	if got := strideSample([]int{}, 5); len(got) != 0 {
+		t.Errorf("empty in = %v", got)
+	}
+}
+
+func TestRenderLines(t *testing.T) {
+	if got := renderLines(nil, 10); got != "(empty)" {
+		t.Errorf("empty = %q", got)
+	}
+	got := renderLines([]float64{1, 2, 11}, 11)
+	if len(got) != 11 {
+		t.Fatalf("width = %d", len(got))
+	}
+	if got[0] != '|' || got[10] != '|' {
+		t.Errorf("endpoints not drawn: %q", got)
+	}
+	if !strings.Contains(got, ".") {
+		t.Errorf("gaps not drawn: %q", got)
+	}
+	// A single line still renders.
+	if got := renderLines([]float64{1}, 5); got[0] != '|' {
+		t.Errorf("singleton = %q", got)
+	}
+}
+
+func TestCompKey(t *testing.T) {
+	if got := compKey([]int{25, 26, 26}); got != "{/25, /26, /26}" {
+		t.Errorf("compKey = %q", got)
+	}
+	if got := compKey(nil); got != "{}" {
+		t.Errorf("empty compKey = %q", got)
+	}
+}
+
+func TestRenderCDFLine(t *testing.T) {
+	r := newReport("x", "y")
+	renderCDFLine(r, "empty", &stats.CDF{})
+	var c stats.CDF
+	c.AddAll([]float64{1, 2, 3, 4, 5})
+	renderCDFLine(r, "five", &c)
+	if len(r.Lines) != 2 {
+		t.Fatalf("lines = %d", len(r.Lines))
+	}
+	if !strings.Contains(r.Lines[0], "(no data)") {
+		t.Errorf("empty line = %q", r.Lines[0])
+	}
+	if !strings.Contains(r.Lines[1], "median=3") {
+		t.Errorf("data line = %q", r.Lines[1])
+	}
+}
+
+func TestReportWriteTo(t *testing.T) {
+	r := newReport("id1", "a title")
+	r.printf("value %d", 42)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "id1") || !strings.Contains(out, "a title") || !strings.Contains(out, "value 42") {
+		t.Errorf("WriteTo = %q", out)
+	}
+}

@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+func init() {
+	register("outage", "Extension (Trinocular implication): block-level outage tracking", runOutage)
+}
+
+// runOutage demonstrates the paper's first motivating implication: an
+// outage tracker that probes per Hobbit block instead of per /24 spends
+// far fewer probes for the same verdicts, because members of a
+// homogeneous block share fate. Epoch 1 introduces whole-aggregate
+// outages; both strategies re-probe known responders and flag units where
+// nobody answers.
+func runOutage(l *Lab) (*Report, error) {
+	r := newReport("outage", "outage tracking per /24 vs per block")
+	out, err := l.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	defer l.World.SetEpoch(0)
+
+	// Tracked universe: measured /24s with their epoch-0 responders.
+	const perUnit = 10
+	responders := make(map[iputil.Block24][]iputil.Addr)
+	var tracked []iputil.Block24
+	for _, b := range out.Eligible {
+		var rs []iputil.Addr
+		for _, a := range out.Dataset.Actives(b) {
+			if l.World.RespondsNow(a) {
+				rs = append(rs, a)
+				if len(rs) >= perUnit+4 {
+					break
+				}
+			}
+		}
+		if len(rs) >= perUnit {
+			responders[b] = rs
+			tracked = append(tracked, b)
+		}
+	}
+	if len(tracked) == 0 {
+		r.printf("nothing to track")
+		return r, nil
+	}
+
+	blockOf := make(map[iputil.Block24]int)
+	members := make(map[int][]iputil.Block24)
+	for _, agg := range out.Final {
+		for _, b := range agg.Blocks24 {
+			if _, ok := responders[b]; ok {
+				blockOf[b] = agg.ID
+				members[agg.ID] = append(members[agg.ID], b)
+			}
+		}
+	}
+	nextID := len(out.Final)
+	for _, b := range tracked {
+		if _, ok := blockOf[b]; !ok {
+			blockOf[b] = nextID
+			members[nextID] = append(members[nextID], b)
+			nextID++
+		}
+	}
+
+	// The outage epoch.
+	l.World.SetEpoch(1)
+	probes := 0
+	unitDown := func(bs []iputil.Block24) bool {
+		// Probe up to perUnit known responders spread over the unit.
+		n := 0
+		for _, b := range bs {
+			for _, a := range responders[b] {
+				probes++
+				n++
+				if l.World.RespondsNow(a) {
+					return false
+				}
+				if n >= perUnit {
+					return true
+				}
+			}
+		}
+		return true
+	}
+
+	evaluate := func(verdict map[iputil.Block24]bool) (tp, fp, fn int) {
+		for _, b := range tracked {
+			truth := l.World.TrueOutage(b)
+			switch {
+			case truth && verdict[b]:
+				tp++
+			case !truth && verdict[b]:
+				fp++
+			case truth && !verdict[b]:
+				fn++
+			}
+		}
+		return tp, fp, fn
+	}
+
+	// Strategy A: per /24.
+	probes = 0
+	per24 := make(map[iputil.Block24]bool, len(tracked))
+	for _, b := range tracked {
+		per24[b] = unitDown([]iputil.Block24{b})
+	}
+	probes24 := probes
+	tp24, fp24, fn24 := evaluate(per24)
+
+	// Strategy B: per Hobbit block; the verdict fans out to members.
+	probes = 0
+	perBlock := make(map[iputil.Block24]bool, len(tracked))
+	for _, bs := range members {
+		down := unitDown(bs)
+		for _, b := range bs {
+			perBlock[b] = down
+		}
+	}
+	probesBlock := probes
+	tpB, fpB, fnB := evaluate(perBlock)
+
+	rate := func(a, b int) float64 {
+		if a+b == 0 {
+			return 1
+		}
+		return float64(a) / float64(a+b)
+	}
+	r.printf("tracking %d /24s in %d Hobbit blocks; %d truly dark this epoch",
+		len(tracked), len(members), func() int {
+			n := 0
+			for _, b := range tracked {
+				if l.World.TrueOutage(b) {
+					n++
+				}
+			}
+			return n
+		}())
+	r.printf("%-22s %10s %10s %10s", "strategy", "probes", "recall", "precision")
+	r.printf("%-22s %10d %9.1f%% %9.1f%%", "per /24", probes24,
+		100*rate(tp24, fn24), 100*rate(tp24, fp24))
+	r.printf("%-22s %10d %9.1f%% %9.1f%%", "per Hobbit block", probesBlock,
+		100*rate(tpB, fnB), 100*rate(tpB, fpB))
+	r.Metrics["probes_per24"] = float64(probes24)
+	r.Metrics["probes_block"] = float64(probesBlock)
+	r.Metrics["recall_per24"] = rate(tp24, fn24)
+	r.Metrics["recall_block"] = rate(tpB, fnB)
+	r.Metrics["precision_block"] = rate(tpB, fpB)
+	r.printf("members of a homogeneous block share fate, so per-block probing saves probes")
+	return r, nil
+}

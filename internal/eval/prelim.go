@@ -1,0 +1,141 @@
+package eval
+
+import (
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/probe"
+	"github.com/hobbitscan/hobbit/internal/trace"
+)
+
+func init() {
+	register("prelim", "Section 2 preliminary analysis: route comparison and per-destination load balancing", runPrelim)
+}
+
+// prelimBlockCap bounds the /24s examined by the preliminary analyses.
+const prelimBlockCap = 220
+
+// runPrelim reproduces the Section 2 numbers:
+//   - the straw-man whole-route comparison calls ~88% of /24s
+//     heterogeneous (87% with unresponsive-hop wildcards);
+//   - ~77% of /31 pairs have distinct route sets and ~30% distinct
+//     last-hop routers, implicating per-destination load balancing.
+func runPrelim(l *Lab) (*Report, error) {
+	r := newReport("prelim", "Section 2 preliminary analysis")
+	out, err := l.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+
+	blocks := strideSample(out.Eligible, prelimBlockCap)
+
+	// --- Straw-man: one destination per /26, enumerate all routes,
+	// identical iff the sets share at least one route. Single-shot
+	// probes (no retransmissions), like a classic traceroute practice,
+	// leave the unresponsive-hop holes that Section 2.1's wildcard rule
+	// tolerates. ---
+	singleShot := probe.MDAOptions{Retries: -1}
+	hetExact, hetWild, tested := 0, 0, 0
+	for _, b := range blocks {
+		by26 := out.Dataset.ActivesBy26(b)
+		var sets []*trace.PathSet
+		for q := 0; q < 4; q++ {
+			for _, a := range by26[q] {
+				res := probe.MDA(l.Net, a, singleShot)
+				if res.DestReached && res.Paths.Len() > 0 {
+					sets = append(sets, res.Paths)
+					break
+				}
+			}
+		}
+		if len(sets) < 4 {
+			continue
+		}
+		tested++
+		if !allShareRoute(sets, false) {
+			hetExact++
+		}
+		if !allShareRoute(sets, true) {
+			hetWild++
+		}
+	}
+	if tested == 0 {
+		r.printf("no measurable blocks for the straw-man analysis")
+		return r, nil
+	}
+	r.Metrics["strawman_heterogeneous"] = ratio(hetExact, tested)
+	r.Metrics["strawman_heterogeneous_wildcard"] = ratio(hetWild, tested)
+	r.printf("straw-man whole-route comparison over %d /24s:", tested)
+	r.printf("  heterogeneous (exact matching):      %5.1f%%   (paper: 88%%)", 100*ratio(hetExact, tested))
+	r.printf("  heterogeneous (wildcard matching):   %5.1f%%   (paper: 87%%)", 100*ratio(hetWild, tested))
+
+	// --- /31 experiment: two addresses within one /31 per /24. ---
+	distinctRoutes, distinctLastHops, pairs := 0, 0, 0
+	for _, b := range blocks {
+		a1, a2, ok := respondingPair31(out.Dataset.Actives(b))
+		if !ok {
+			continue
+		}
+		r1 := probe.MDA(l.Net, a1, probe.MDAOptions{})
+		r2 := probe.MDA(l.Net, a2, probe.MDAOptions{})
+		if !r1.DestReached || !r2.DestReached || r1.Paths.Len() == 0 || r2.Paths.Len() == 0 {
+			continue
+		}
+		pairs++
+		if !r1.Paths.SharesRoute(r2.Paths, true) {
+			distinctRoutes++
+		}
+		lh1, _ := r1.Paths.LastHops()
+		lh2, _ := r2.Paths.LastHops()
+		if len(lh1) > 0 && len(lh2) > 0 && !shareAddr(lh1, lh2) {
+			distinctLastHops++
+		}
+	}
+	if pairs > 0 {
+		r.Metrics["pair31_distinct_routes"] = ratio(distinctRoutes, pairs)
+		r.Metrics["pair31_distinct_lasthops"] = ratio(distinctLastHops, pairs)
+		r.printf("/31 pairs measured: %d", pairs)
+		r.printf("  distinct route sets:                 %5.1f%%   (paper: 77%%)", 100*ratio(distinctRoutes, pairs))
+		r.printf("  distinct last-hop routers:           %5.1f%%   (paper: 30%%)", 100*ratio(distinctLastHops, pairs))
+	}
+	return r, nil
+}
+
+// allShareRoute reports whether every pair of sets shares at least one
+// route under the chosen matching.
+func allShareRoute(sets []*trace.PathSet, wildcard bool) bool {
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			if !sets[i].SharesRoute(sets[j], wildcard) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// respondingPair31 finds two census-active addresses within one /31.
+func respondingPair31(actives []iputil.Addr) (iputil.Addr, iputil.Addr, bool) {
+	for i := 0; i+1 < len(actives); i++ {
+		if actives[i].Block31() == actives[i+1].Block31() {
+			return actives[i], actives[i+1], true
+		}
+	}
+	return 0, 0, false
+}
+
+func shareAddr(a, b []iputil.Addr) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

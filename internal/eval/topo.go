@@ -1,0 +1,172 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/rng"
+	"github.com/hobbitscan/hobbit/internal/trace"
+)
+
+func init() {
+	register("fig11", "Figure 11: discovered-links ratio, Hobbit blocks vs /24s", runFig11)
+}
+
+// runFig11 reproduces the topology-discovery experiment: choosing
+// destinations per Hobbit block discovers more links per probe than
+// choosing per /24, because traceroutes within one Hobbit block are
+// largely redundant.
+func runFig11(l *Lab) (*Report, error) {
+	r := newReport("fig11", "discovered-links ratio")
+	ds, err := l.TraceDataset()
+	if err != nil {
+		return nil, err
+	}
+	out, err := l.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	if len(ds.Blocks) == 0 {
+		r.printf("empty trace dataset")
+		return r, nil
+	}
+
+	// Total distinct links across the dataset.
+	allLinks := make(map[trace.Link]struct{})
+	byBlock := make(map[iputil.Block24]*BlockTraces, len(ds.Blocks))
+	for _, bt := range ds.Blocks {
+		byBlock[bt.Block] = bt
+		for ln := range bt.Links() {
+			allLinks[ln] = struct{}{}
+		}
+	}
+	if len(allLinks) == 0 {
+		r.printf("no links in dataset")
+		return r, nil
+	}
+
+	// Group the dataset's /24s by the Hobbit aggregate they belong to;
+	// /24s outside any aggregate form their own group.
+	groupOf := make(map[iputil.Block24]int)
+	for _, agg := range out.Final {
+		for _, b := range agg.Blocks24 {
+			groupOf[b] = agg.ID
+		}
+	}
+	hobbitGroups := make(map[int][]*BlockTraces)
+	next := len(out.Final)
+	for _, bt := range ds.Blocks {
+		id, ok := groupOf[bt.Block]
+		if !ok {
+			id = next
+			next++
+		}
+		hobbitGroups[id] = append(hobbitGroups[id], bt)
+	}
+
+	num24 := len(ds.Blocks)
+	r.printf("dataset: %d /24s in %d Hobbit blocks; %d distinct links",
+		num24, len(hobbitGroups), len(allLinks))
+	r.printf("%-26s %12s %12s", "avg dests per /24", "per-/24", "per-Hobbit")
+
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 96} {
+		budget := k * num24
+		r24 := linkRatio(select24(ds, k, l.Seed), allLinks)
+		rHob := linkRatio(selectHobbit(hobbitGroups, budget, l.Seed), allLinks)
+		r.printf("%-26d %11.1f%% %11.1f%%", k, 100*r24, 100*rHob)
+		r.Metrics[fmt.Sprintf("ratio24_k%d", k)] = r24
+		r.Metrics[fmt.Sprintf("ratioHobbit_k%d", k)] = rHob
+	}
+	r.printf("paper: selecting from Hobbit blocks always discovers more links at equal budget")
+	return r, nil
+}
+
+// select24 picks k destinations from each /24 (round-robin over its
+// addresses) and returns their traces.
+func select24(ds *TraceDataset, k int, seed uint64) []*trace.PathSet {
+	var out []*trace.PathSet
+	for _, bt := range ds.Blocks {
+		n := k
+		if n > len(bt.Sets) {
+			n = len(bt.Sets)
+		}
+		perm := permIndices(len(bt.Sets), seed, uint64(bt.Block))
+		for i := 0; i < n; i++ {
+			out = append(out, bt.Sets[perm[i]])
+		}
+	}
+	return out
+}
+
+// selectHobbit spreads the total budget across Hobbit blocks round-robin
+// (one destination per block per round, like the paper's repeated
+// selection).
+func selectHobbit(groups map[int][]*BlockTraces, budget int, seed uint64) []*trace.PathSet {
+	// Flatten each group's destinations into one rotation.
+	ids := make([]int, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	type cursor struct {
+		sets []*trace.PathSet
+		pos  int
+	}
+	cursors := make([]*cursor, 0, len(ids))
+	for _, id := range ids {
+		c := &cursor{}
+		for _, bt := range groups[id] {
+			c.sets = append(c.sets, bt.Sets...)
+		}
+		perm := permIndices(len(c.sets), seed, uint64(id))
+		shuffled := make([]*trace.PathSet, len(c.sets))
+		for i, p := range perm {
+			shuffled[i] = c.sets[p]
+		}
+		c.sets = shuffled
+		cursors = append(cursors, c)
+	}
+	var out []*trace.PathSet
+	for len(out) < budget {
+		advanced := false
+		for _, c := range cursors {
+			if len(out) >= budget {
+				break
+			}
+			if c.pos < len(c.sets) {
+				out = append(out, c.sets[c.pos])
+				c.pos++
+				advanced = true
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	return out
+}
+
+func permIndices(n int, seed uint64, key uint64) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i+1, seed, key, uint64(i), 0xf11)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+func linkRatio(sets []*trace.PathSet, all map[trace.Link]struct{}) float64 {
+	found := make(map[trace.Link]struct{})
+	for _, s := range sets {
+		for _, p := range s.Paths() {
+			for _, ln := range p.Links() {
+				found[ln] = struct{}{}
+			}
+		}
+	}
+	return float64(len(found)) / float64(len(all))
+}

@@ -1,0 +1,86 @@
+package graph
+
+import "testing"
+
+func TestAddEdgeGuards(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 0.5)
+	g.AddEdge(0, 0, 1)   // self loop ignored
+	g.AddEdge(1, 2, 0)   // zero weight ignored
+	g.AddEdge(1, 2, -1)  // negative ignored
+	g.AddEdge(0, 9, 0.5) // out of range ignored
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if len(g.Neighbors(0)) != 1 || g.Neighbors(0)[0].To != 1 {
+		t.Errorf("Neighbors(0) = %v", g.Neighbors(0))
+	}
+	if g.Len() != 3 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestWeightsAndMedian(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 0.1)
+	g.AddEdge(1, 2, 0.5)
+	g.AddEdge(2, 3, 0.9)
+	ws := g.Weights()
+	if len(ws) != 3 {
+		t.Fatalf("Weights = %v", ws)
+	}
+	med, ok := g.MedianWeight()
+	if !ok || med != 0.5 {
+		t.Errorf("MedianWeight = %v, %v", med, ok)
+	}
+	if _, ok := New(2).MedianWeight(); ok {
+		t.Error("edgeless median should be !ok")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("Components = %v", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 || comps[0][2] != 2 {
+		t.Errorf("component 0 = %v", comps[0])
+	}
+	if len(comps[1]) != 2 || comps[1][0] != 3 {
+		t.Errorf("component 1 = %v", comps[1])
+	}
+	if len(comps[2]) != 1 || comps[2][0] != 5 {
+		t.Errorf("isolated vertex component = %v", comps[2])
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 0.3)
+	g.AddEdge(1, 2, 0.7)
+	g.AddEdge(3, 4, 0.9)
+	sub, back := g.Subgraph([]int{1, 2, 3})
+	if sub.Len() != 3 {
+		t.Fatalf("subgraph size = %d", sub.Len())
+	}
+	// Only the 1-2 edge survives (0 and 4 excluded).
+	if sub.NumEdges() != 1 {
+		t.Errorf("subgraph edges = %d", sub.NumEdges())
+	}
+	if back[0] != 1 || back[1] != 2 || back[2] != 3 {
+		t.Errorf("back map = %v", back)
+	}
+	found := false
+	for _, e := range sub.Neighbors(0) {
+		if e.To == 1 && e.Weight == 0.7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("1-2 edge missing from subgraph")
+	}
+}

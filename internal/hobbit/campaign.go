@@ -1,0 +1,119 @@
+package hobbit
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/zmap"
+)
+
+// Campaign measures many /24 blocks in parallel with a worker pool, the
+// way the paper's single-vantage measurement iterated over 3.37M blocks.
+type Campaign struct {
+	// Measurer is the per-block configuration; its Net must be safe for
+	// concurrent use (SimNetwork is).
+	Measurer *Measurer
+	// Dataset supplies the census actives per block.
+	Dataset *zmap.Dataset
+	// Workers bounds concurrency; 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// Summary tallies a campaign by class.
+type Summary struct {
+	Counts map[Class]int
+	Total  int
+}
+
+// Homogeneous returns the number of homogeneous blocks.
+func (s Summary) Homogeneous() int {
+	return s.Counts[ClassSameLastHop] + s.Counts[ClassNonHierarchical]
+}
+
+// Measurable returns the number of analyzable blocks.
+func (s Summary) Measurable() int {
+	return s.Homogeneous() + s.Counts[ClassHierarchical]
+}
+
+// Result is the output of a campaign run.
+type Result struct {
+	// Blocks maps each measured /24 to its outcome.
+	Blocks map[iputil.Block24]*BlockResult
+	// Order preserves the input block order for deterministic reports.
+	Order []iputil.Block24
+}
+
+// Summary tallies the result.
+func (r *Result) Summary() Summary {
+	s := Summary{Counts: make(map[Class]int)}
+	for _, br := range r.Blocks {
+		s.Counts[br.Class]++
+		s.Total++
+	}
+	return s
+}
+
+// HomogeneousBlocks returns the homogeneous /24s with their observed
+// last-hop sets, sorted — the input to aggregation (Section 5).
+func (r *Result) HomogeneousBlocks() []*BlockResult {
+	var out []*BlockResult
+	for _, b := range r.Order {
+		if br := r.Blocks[b]; br.Class.Homogeneous() {
+			out = append(out, br)
+		}
+	}
+	return out
+}
+
+// ClassBlocks returns the blocks of one class in input order.
+func (r *Result) ClassBlocks(c Class) []*BlockResult {
+	var out []*BlockResult
+	for _, b := range r.Order {
+		if br := r.Blocks[b]; br.Class == c {
+			out = append(out, br)
+		}
+	}
+	return out
+}
+
+// Run measures the given blocks (typically Dataset.EligibleBlocks).
+func (c *Campaign) Run(blocks []iputil.Block24) *Result {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &Result{
+		Blocks: make(map[iputil.Block24]*BlockResult, len(blocks)),
+		Order:  append([]iputil.Block24(nil), blocks...),
+	}
+	type item struct {
+		b  iputil.Block24
+		br *BlockResult
+	}
+	in := make(chan iputil.Block24)
+	out := make(chan item)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range in {
+				br := c.Measurer.MeasureBlock(b, c.Dataset.ActivesBy26(b))
+				out <- item{b: b, br: &br}
+			}
+		}()
+	}
+	go func() {
+		for _, b := range blocks {
+			in <- b
+		}
+		close(in)
+		wg.Wait()
+		close(out)
+	}()
+	for it := range out {
+		res.Blocks[it.b] = it.br
+	}
+	return res
+}

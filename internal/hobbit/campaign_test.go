@@ -1,0 +1,234 @@
+package hobbit
+
+import (
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/netsim"
+	"github.com/hobbitscan/hobbit/internal/probe"
+	"github.com/hobbitscan/hobbit/internal/zmap"
+)
+
+func campaignWorld(t *testing.T, n int) (*netsim.World, *Campaign, []iputil.Block24) {
+	t.Helper()
+	cfg := netsim.DefaultConfig(n)
+	cfg.BigBlockScale = 0.02
+	w, err := netsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := zmap.Scan(w, w.Blocks())
+	c := &Campaign{
+		Measurer: &Measurer{Net: probe.NewSimNetwork(w), Seed: 1},
+		Dataset:  ds,
+	}
+	return w, c, ds.EligibleBlocks(w.Blocks(), 4)
+}
+
+func TestCampaignAgainstGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test is slow")
+	}
+	w, c, eligible := campaignWorld(t, 700)
+	if len(eligible) < 200 {
+		t.Fatalf("only %d eligible blocks", len(eligible))
+	}
+	res := c.Run(eligible)
+	sum := res.Summary()
+	if sum.Total != len(eligible) {
+		t.Fatalf("summary total = %d, want %d", sum.Total, len(eligible))
+	}
+
+	// Verdicts must agree with planted truth at high rates.
+	var homTrue, homCalledHet, hetTrue, hetDetected int
+	for b, br := range res.Blocks {
+		hom, _ := w.TrueHomogeneous(b)
+		if !br.Class.Analyzable() {
+			continue
+		}
+		if hom {
+			homTrue++
+			if !br.Class.Homogeneous() {
+				homCalledHet++
+			}
+		} else {
+			hetTrue++
+			if br.Class == ClassHierarchical {
+				hetDetected++
+			}
+		}
+	}
+	if homTrue == 0 {
+		t.Fatal("no analyzable homogeneous blocks")
+	}
+	// The paper bounds the misclassification of homogeneous blocks at
+	// the 5% confidence level.
+	if frac := float64(homCalledHet) / float64(homTrue); frac > 0.12 {
+		t.Errorf("homogeneous misclassified as hierarchical: %.1f%%", 100*frac)
+	}
+	// Planted heterogeneous blocks that were analyzable should land in
+	// the hierarchical class.
+	if hetTrue > 0 && hetDetected < hetTrue/2 {
+		t.Errorf("heterogeneous detected %d of %d", hetDetected, hetTrue)
+	}
+
+	// All five classes should be populated in a default world.
+	for _, cls := range []Class{ClassTooFewActive, ClassSameLastHop, ClassNonHierarchical} {
+		if sum.Counts[cls] == 0 {
+			t.Errorf("class %v empty", cls)
+		}
+	}
+}
+
+func TestMeasureBlockSameLastHop(t *testing.T) {
+	w, c, eligible := campaignWorld(t, 600)
+	// Find an eligible K=1 block with responsive last hop.
+	var target iputil.Block24
+	for _, b := range eligible {
+		if w.TrueLastHopCardinality(b) == 1 && !w.UnresponsiveLastHop(b) {
+			if hom, _ := w.TrueHomogeneous(b); hom && !w.IsStarved(b) {
+				target = b
+				break
+			}
+		}
+	}
+	if target == 0 {
+		t.Skip("no K=1 block eligible")
+	}
+	br := c.Measurer.MeasureBlock(target, c.Dataset.ActivesBy26(target))
+	if br.Class != ClassSameLastHop && br.Class != ClassTooFewActive {
+		t.Errorf("K=1 block classified %v", br.Class)
+	}
+	if br.Class == ClassSameLastHop {
+		if len(br.LastHops) != 1 {
+			t.Errorf("LastHops = %v", br.LastHops)
+		}
+		trueLH, _ := w.TrueLastHops(target.Addr(1))
+		if br.LastHops[0] != trueLH[0] {
+			t.Errorf("last hop %v, truth %v", br.LastHops[0], trueLH)
+		}
+		// Early termination: 6 probes suffice for a single last hop.
+		if br.Responded > 8 {
+			t.Errorf("probed %d responsive destinations for a K=1 block", br.Responded)
+		}
+	}
+}
+
+func TestMeasureBlockHetero(t *testing.T) {
+	w, c, _ := campaignWorld(t, 1500)
+	found := 0
+	for _, b := range w.HeteroBlocks() {
+		if !c.Dataset.Eligible(b, 4) {
+			continue
+		}
+		br := c.Measurer.MeasureBlock(b, c.Dataset.ActivesBy26(b))
+		if !br.Class.Analyzable() {
+			continue
+		}
+		found++
+		if br.Class.Homogeneous() {
+			t.Errorf("hetero block %v classified %v", b, br.Class)
+			continue
+		}
+		if br.VeryLikelyHetero {
+			// Sub-blocks must be consistent with planted entries:
+			// every observed sub-prefix lies within one true entry.
+			entries := w.TrueEntries(b)
+			for _, sub := range br.SubBlocks {
+				inside := false
+				for _, e := range entries {
+					if e.ContainsPrefix(sub) {
+						inside = true
+					}
+				}
+				if !inside {
+					t.Errorf("block %v sub %v not within any true entry %v", b, sub, entries)
+				}
+			}
+		}
+		if found >= 5 {
+			break
+		}
+	}
+	if found == 0 {
+		t.Skip("no analyzable hetero blocks at this scale")
+	}
+}
+
+func TestExhaustiveReprobe(t *testing.T) {
+	w, c, eligible := campaignWorld(t, 600)
+	// On a K>=2 block, the exhaustive strategy should observe at least
+	// as many last hops as the normal strategy.
+	var target iputil.Block24
+	for _, b := range eligible {
+		if w.TrueLastHopCardinality(b) >= 3 && !w.UnresponsiveLastHop(b) && !w.IsStarved(b) {
+			if hom, _ := w.TrueHomogeneous(b); hom {
+				target = b
+				break
+			}
+		}
+	}
+	if target == 0 {
+		t.Skip("no K>=3 block eligible")
+	}
+	by26 := c.Dataset.ActivesBy26(target)
+	normal := c.Measurer.MeasureBlock(target, by26)
+	ex := *c.Measurer
+	ex.Exhaustive = true
+	exhaustive := ex.MeasureBlock(target, by26)
+	if len(exhaustive.LastHops) < len(normal.LastHops) {
+		t.Errorf("exhaustive found %d last hops, normal %d",
+			len(exhaustive.LastHops), len(normal.LastHops))
+	}
+	if exhaustive.Responded < normal.Responded {
+		t.Errorf("exhaustive responded %d < normal %d", exhaustive.Responded, normal.Responded)
+	}
+}
+
+func TestOrderCoversAllActives(t *testing.T) {
+	_, c, eligible := campaignWorld(t, 300)
+	b := eligible[0]
+	by26 := c.Dataset.ActivesBy26(b)
+	order := c.Measurer.Order(b, by26)
+	seen := make(map[iputil.Addr]bool, len(order))
+	for _, a := range order {
+		if seen[a] {
+			t.Fatalf("duplicate %v in order", a)
+		}
+		seen[a] = true
+	}
+	total := 0
+	for q := 0; q < 4; q++ {
+		total += len(by26[q])
+		for _, a := range by26[q] {
+			if !seen[a] {
+				t.Fatalf("active %v missing from order", a)
+			}
+		}
+	}
+	if len(order) != total {
+		t.Fatalf("order length %d, want %d", len(order), total)
+	}
+	// First round visits each /26 once before revisiting any.
+	quarterSeen := map[int]bool{}
+	for i := 0; i < 4 && i < len(order); i++ {
+		q := order[i].Block26()
+		if quarterSeen[q] {
+			t.Errorf("quarter %d revisited within first round", q)
+		}
+		quarterSeen[q] = true
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	_, c1, elig1 := campaignWorld(t, 250)
+	_, c2, elig2 := campaignWorld(t, 250)
+	r1 := c1.Run(elig1[:50])
+	r2 := c2.Run(elig2[:50])
+	for b, br1 := range r1.Blocks {
+		br2 := r2.Blocks[b]
+		if br2 == nil || br1.Class != br2.Class || len(br1.LastHops) != len(br2.LastHops) {
+			t.Fatalf("nondeterministic result for %v", b)
+		}
+	}
+}

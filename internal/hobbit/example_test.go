@@ -1,0 +1,54 @@
+package hobbit_test
+
+import (
+	"fmt"
+
+	"github.com/hobbitscan/hobbit/internal/hobbit"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// The hierarchy test at the heart of Hobbit: grouping addresses by their
+// last-hop router and asking whether the groups' ranges interleave.
+func ExampleNonHierarchical() {
+	addr := iputil.MustParseAddr
+
+	// Figure 2a: two disjoint groups — consistent with distinct route
+	// entries, so Hobbit cannot call the block homogeneous.
+	disjoint := []hobbit.Group{
+		{LastHop: addr("203.0.113.1"), Addrs: []iputil.Addr{addr("192.0.2.2"), addr("192.0.2.126")}},
+		{LastHop: addr("203.0.113.2"), Addrs: []iputil.Addr{addr("192.0.2.130"), addr("192.0.2.237")}},
+	}
+	fmt.Println("disjoint groups non-hierarchical:", hobbit.NonHierarchical(disjoint))
+
+	// Figure 2c: interleaved groups — only load balancing produces
+	// this, so the block is homogeneous.
+	interleaved := []hobbit.Group{
+		{LastHop: addr("203.0.113.1"), Addrs: []iputil.Addr{addr("192.0.2.2"), addr("192.0.2.130")}},
+		{LastHop: addr("203.0.113.2"), Addrs: []iputil.Addr{addr("192.0.2.126"), addr("192.0.2.237")}},
+	}
+	fmt.Println("interleaved groups non-hierarchical:", hobbit.NonHierarchical(interleaved))
+	// Output:
+	// disjoint groups non-hierarchical: false
+	// interleaved groups non-hierarchical: true
+}
+
+// The Section 4.2 criterion for blocks that are very likely split into
+// sub-allocations: disjoint groups aligned to subnet boundaries.
+func ExampleAlignedDisjoint() {
+	addr := iputil.MustParseAddr
+	groups := []hobbit.Group{
+		{LastHop: addr("203.0.113.1"), Addrs: []iputil.Addr{addr("192.0.2.2"), addr("192.0.2.125")}},
+		{LastHop: addr("203.0.113.2"), Addrs: []iputil.Addr{addr("192.0.2.129"), addr("192.0.2.254")}},
+	}
+	subs, ok := hobbit.AlignedDisjoint(groups)
+	fmt.Println("very likely heterogeneous:", ok)
+	for _, s := range subs {
+		fmt.Println("  sub-block:", s)
+	}
+	fmt.Println("composition:", hobbit.Composition(subs))
+	// Output:
+	// very likely heterogeneous: true
+	//   sub-block: 192.0.2.0/25
+	//   sub-block: 192.0.2.128/25
+	// composition: [25 25]
+}

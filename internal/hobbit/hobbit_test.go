@@ -1,0 +1,166 @@
+package hobbit
+
+import (
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+func ip(s string) iputil.Addr { return iputil.MustParseAddr(s) }
+
+func grp(lh string, addrs ...string) Group {
+	g := Group{LastHop: ip(lh)}
+	for _, a := range addrs {
+		g.Addrs = append(g.Addrs, ip(a))
+	}
+	return g
+}
+
+func TestClassStrings(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassTooFewActive:        "Too few active",
+		ClassUnresponsiveLastHop: "Unresponsive last-hop",
+		ClassSameLastHop:         "Same last-hop router",
+		ClassNonHierarchical:     "Non-hierarchical",
+		ClassHierarchical:        "Different but hierarchical",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+	if !ClassSameLastHop.Homogeneous() || !ClassNonHierarchical.Homogeneous() {
+		t.Error("homogeneous classes misreported")
+	}
+	if ClassHierarchical.Homogeneous() || ClassTooFewActive.Homogeneous() {
+		t.Error("non-homogeneous classes misreported")
+	}
+	if ClassTooFewActive.Analyzable() || ClassUnresponsiveLastHop.Analyzable() {
+		t.Error("not-analyzable classes misreported")
+	}
+	if !ClassHierarchical.Analyzable() {
+		t.Error("hierarchical should be analyzable")
+	}
+}
+
+func TestNonHierarchical(t *testing.T) {
+	// Figure 2a: disjoint groups -> hierarchical.
+	disjoint := []Group{
+		grp("9.9.9.1", "10.0.0.2", "10.0.0.126"),
+		grp("9.9.9.2", "10.0.0.130", "10.0.0.237"),
+	}
+	if NonHierarchical(disjoint) {
+		t.Error("disjoint groups should be hierarchical")
+	}
+	// Figure 2b: inclusive groups -> hierarchical.
+	inclusive := []Group{
+		grp("9.9.9.1", "10.0.0.2", "10.0.0.237"),
+		grp("9.9.9.2", "10.0.0.130", "10.0.0.200"),
+	}
+	if NonHierarchical(inclusive) {
+		t.Error("inclusive groups should be hierarchical")
+	}
+	// Figure 2c: interleaved groups -> non-hierarchical.
+	interleaved := []Group{
+		grp("9.9.9.1", "10.0.0.2", "10.0.0.126", "10.0.0.237"),
+		grp("9.9.9.2", "10.0.0.130", "10.0.0.2"),
+		grp("9.9.9.3", "10.0.0.126", "10.0.0.130", "10.0.0.237"),
+	}
+	if !NonHierarchical(interleaved) {
+		t.Error("interleaved groups should be non-hierarchical")
+	}
+	// Fewer than 4 addresses are always hierarchical no matter the
+	// grouping (Section 3.3's minimum).
+	three := []Group{
+		grp("9.9.9.1", "10.0.0.1"),
+		grp("9.9.9.2", "10.0.0.2"),
+		grp("9.9.9.3", "10.0.0.3"),
+	}
+	if NonHierarchical(three) {
+		t.Error("singleton groups can never be non-hierarchical")
+	}
+	if NonHierarchical(nil) {
+		t.Error("empty groups should be hierarchical")
+	}
+}
+
+func TestAlignedDisjoint(t *testing.T) {
+	// The paper's example: <X.Y.Z.2, X.Y.Z.125> and <X.Y.Z.129,
+	// X.Y.Z.254> are disjoint and aligned to the two /25s.
+	aligned := []Group{
+		grp("9.9.9.1", "10.0.0.2", "10.0.0.125"),
+		grp("9.9.9.2", "10.0.0.129", "10.0.0.254"),
+	}
+	subs, ok := AlignedDisjoint(aligned)
+	if !ok {
+		t.Fatal("aligned example should match")
+	}
+	if len(subs) != 2 || subs[0].String() != "10.0.0.0/25" || subs[1].String() != "10.0.0.128/25" {
+		t.Errorf("sub-blocks = %v", subs)
+	}
+	if got := Composition(subs); len(got) != 2 || got[0] != 25 || got[1] != 25 {
+		t.Errorf("composition = %v", got)
+	}
+
+	// The paper's counterexample: second group <X.Y.Z.127, X.Y.Z.254>
+	// is disjoint but not aligned (its subnet /24 swallows group one).
+	misaligned := []Group{
+		grp("9.9.9.1", "10.0.0.2", "10.0.0.125"),
+		grp("9.9.9.2", "10.0.0.127", "10.0.0.254"),
+	}
+	if _, ok := AlignedDisjoint(misaligned); ok {
+		t.Error("misaligned example should not match")
+	}
+
+	// Overlapping groups never match.
+	overlapping := []Group{
+		grp("9.9.9.1", "10.0.0.2", "10.0.0.200"),
+		grp("9.9.9.2", "10.0.0.100", "10.0.0.220"),
+	}
+	if _, ok := AlignedDisjoint(overlapping); ok {
+		t.Error("overlapping groups should not match")
+	}
+
+	// A single group is not a split.
+	if _, ok := AlignedDisjoint(aligned[:1]); ok {
+		t.Error("single group should not match")
+	}
+
+	// Three-way split {/25, /26, /26}.
+	threeWay := []Group{
+		grp("9.9.9.1", "10.0.0.2", "10.0.0.120"),
+		grp("9.9.9.2", "10.0.0.130", "10.0.0.190"),
+		grp("9.9.9.3", "10.0.0.194", "10.0.0.254"),
+	}
+	subs, ok = AlignedDisjoint(threeWay)
+	if !ok {
+		t.Fatal("three-way split should match")
+	}
+	if got := Composition(subs); len(got) != 3 || got[0] != 25 || got[1] != 26 || got[2] != 26 {
+		t.Errorf("three-way composition = %v", got)
+	}
+}
+
+func TestMDATerminator(t *testing.T) {
+	term := MDATerminator{}
+	if term.Enough(1, 5) {
+		t.Error("5 probes must not suffice at cardinality 1")
+	}
+	if !term.Enough(1, 6) {
+		t.Error("6 probes suffice at cardinality 1")
+	}
+	if term.Enough(2, 10) || !term.Enough(2, 11) {
+		t.Error("cardinality 2 requires 11 probes")
+	}
+	strict := MDATerminator{Confidence: 0.99}
+	if strict.Enough(1, 6) {
+		t.Error("99% confidence needs more than 6 probes")
+	}
+}
+
+func TestGroupRange(t *testing.T) {
+	g := grp("9.9.9.9", "10.0.0.7", "10.0.0.3", "10.0.0.5")
+	r := g.Range()
+	if r.Lo != ip("10.0.0.3") || r.Hi != ip("10.0.0.7") {
+		t.Errorf("Range = %v", r)
+	}
+}

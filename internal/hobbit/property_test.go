@@ -1,0 +1,119 @@
+package hobbit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// genGroups derives a grouping from fuzz input: each byte places one
+// address (base + offset) into one of up to four groups.
+func genGroups(raw []uint8) []Group {
+	base := iputil.MustParseAddr("10.0.0.0")
+	members := make([][]iputil.Addr, 4)
+	for i, b := range raw {
+		g := int(b) % 4
+		members[g] = append(members[g], base+iputil.Addr(i%256))
+	}
+	var out []Group
+	for g, addrs := range members {
+		if len(addrs) > 0 {
+			iputil.SortAddrs(addrs)
+			out = append(out, Group{LastHop: iputil.Addr(0x64400000 + uint32(g)), Addrs: addrs})
+		}
+	}
+	return out
+}
+
+func TestNonHierarchicalOrderInvariant(t *testing.T) {
+	f := func(raw []uint8) bool {
+		groups := genGroups(raw)
+		got := NonHierarchical(groups)
+		// Reverse the group order: the verdict must not change.
+		rev := make([]Group, len(groups))
+		for i, g := range groups {
+			rev[len(groups)-1-i] = g
+		}
+		return got == NonHierarchical(rev)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignedDisjointImpliesHierarchical(t *testing.T) {
+	// The very-likely-heterogeneous criterion is a strict subset of
+	// hierarchical relationships: a non-hierarchical grouping can never
+	// be aligned-disjoint.
+	f := func(raw []uint8) bool {
+		groups := genGroups(raw)
+		if _, ok := AlignedDisjoint(groups); ok && NonHierarchical(groups) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignedDisjointPrefixesDisjoint(t *testing.T) {
+	// When the criterion fires, the returned sub-prefixes are pairwise
+	// disjoint and each contains its own group's addresses.
+	f := func(raw []uint8) bool {
+		groups := genGroups(raw)
+		subs, ok := AlignedDisjoint(groups)
+		if !ok {
+			return true
+		}
+		for i := 0; i < len(subs); i++ {
+			for j := i + 1; j < len(subs); j++ {
+				if subs[i].Overlaps(subs[j]) {
+					return false
+				}
+			}
+		}
+		return len(subs) == len(groups)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFewerThanFourAlwaysHierarchical(t *testing.T) {
+	// Section 3.3: with fewer than 4 addresses any grouping is
+	// hierarchical, so Hobbit requires at least 4 actives.
+	f := func(raw []uint8) bool {
+		if len(raw) > 3 {
+			raw = raw[:3]
+		}
+		return !NonHierarchical(genGroups(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompositionSortedAndSized(t *testing.T) {
+	f := func(raw []uint8) bool {
+		groups := genGroups(raw)
+		subs, ok := AlignedDisjoint(groups)
+		if !ok {
+			return true
+		}
+		comp := Composition(subs)
+		if len(comp) != len(subs) {
+			return false
+		}
+		for i := 1; i < len(comp); i++ {
+			if comp[i] < comp[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,22 @@
+package ip6util
+
+import "testing"
+
+func FuzzParseAddr(f *testing.F) {
+	for _, seed := range []string{
+		"::", "::1", "2001:db8::1", "1:2:3:4:5:6:7:8", "fe80::",
+		"1::2::3", "12345::", "g::", ":", ":::", "1:2:3:4:5:6:7:8:9",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseAddr(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip failed for %q -> %v", s, a)
+		}
+	})
+}

@@ -1,0 +1,304 @@
+// Package ip6util lays the groundwork for the paper's first-named future
+// work: "we intend to apply Hobbit to IPv6 networks." It provides 128-bit
+// address and prefix arithmetic plus the hierarchy test over the
+// measurement unit that plays the /24's role in IPv6 — the /64 subnet,
+// whose 64-bit interface identifiers Hobbit groups by last-hop router
+// exactly as it groups the /24's host octet.
+//
+// The sparse v6 space rules out census scanning, so destination selection
+// would come from hitlists rather than a ZMap sweep; everything after
+// selection — MDA, last-hop grouping, the hierarchy test, aggregation —
+// carries over unchanged, which is what this package demonstrates.
+package ip6util
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Addr is a 128-bit IPv6 address as (high, low) 64-bit halves.
+type Addr struct {
+	Hi, Lo uint64
+}
+
+// MustParseAddr parses an RFC 4291 textual address and panics on error.
+// It is intended for fixtures.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseAddr parses a textual IPv6 address (with optional "::"
+// compression; embedded IPv4 notation is not supported).
+func ParseAddr(s string) (Addr, error) {
+	var head, tail []uint16
+	parts := strings.Split(s, "::")
+	switch len(parts) {
+	case 1:
+		var err error
+		head, err = parseGroups(parts[0])
+		if err != nil {
+			return Addr{}, err
+		}
+		if len(head) != 8 {
+			return Addr{}, fmt.Errorf("ip6util: %q has %d groups, want 8", s, len(head))
+		}
+	case 2:
+		var err error
+		if parts[0] != "" {
+			if head, err = parseGroups(parts[0]); err != nil {
+				return Addr{}, err
+			}
+		}
+		if parts[1] != "" {
+			if tail, err = parseGroups(parts[1]); err != nil {
+				return Addr{}, err
+			}
+		}
+		if len(head)+len(tail) >= 8 {
+			return Addr{}, fmt.Errorf("ip6util: %q compresses nothing", s)
+		}
+	default:
+		return Addr{}, fmt.Errorf("ip6util: %q has multiple '::'", s)
+	}
+	var groups [8]uint16
+	copy(groups[:], head)
+	copy(groups[8-len(tail):], tail)
+	var a Addr
+	for i := 0; i < 4; i++ {
+		a.Hi = a.Hi<<16 | uint64(groups[i])
+	}
+	for i := 4; i < 8; i++ {
+		a.Lo = a.Lo<<16 | uint64(groups[i])
+	}
+	return a, nil
+}
+
+func parseGroups(s string) ([]uint16, error) {
+	var out []uint16
+	for _, g := range strings.Split(s, ":") {
+		if g == "" || len(g) > 4 {
+			return nil, fmt.Errorf("ip6util: bad group %q", g)
+		}
+		var v uint64
+		for _, c := range g {
+			switch {
+			case c >= '0' && c <= '9':
+				v = v<<4 | uint64(c-'0')
+			case c >= 'a' && c <= 'f':
+				v = v<<4 | uint64(c-'a'+10)
+			case c >= 'A' && c <= 'F':
+				v = v<<4 | uint64(c-'A'+10)
+			default:
+				return nil, fmt.Errorf("ip6util: bad hex digit %q", c)
+			}
+		}
+		out = append(out, uint16(v))
+	}
+	return out, nil
+}
+
+// String renders the address with the longest zero run compressed.
+func (a Addr) String() string {
+	var groups [8]uint16
+	for i := 0; i < 4; i++ {
+		groups[i] = uint16(a.Hi >> uint(48-16*i))
+		groups[i+4] = uint16(a.Lo >> uint(48-16*i))
+	}
+	// Longest run of zero groups (length >= 2) gets "::".
+	bestStart, bestLen := -1, 1
+	for i := 0; i < 8; {
+		if groups[i] != 0 {
+			i++
+			continue
+		}
+		j := i
+		for j < 8 && groups[j] == 0 {
+			j++
+		}
+		if j-i > bestLen {
+			bestStart, bestLen = i, j-i
+		}
+		i = j
+	}
+	var sb strings.Builder
+	for i := 0; i < 8; {
+		if i == bestStart {
+			sb.WriteString("::")
+			i += bestLen
+			continue
+		}
+		if i > 0 && !strings.HasSuffix(sb.String(), "::") {
+			sb.WriteByte(':')
+		}
+		fmt.Fprintf(&sb, "%x", groups[i])
+		i++
+	}
+	if sb.Len() == 0 {
+		return "::"
+	}
+	return sb.String()
+}
+
+// Cmp returns -1, 0, or 1 comparing a and b numerically.
+func (a Addr) Cmp(b Addr) int {
+	switch {
+	case a.Hi < b.Hi:
+		return -1
+	case a.Hi > b.Hi:
+		return 1
+	case a.Lo < b.Lo:
+		return -1
+	case a.Lo > b.Lo:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// CommonPrefixLen returns the longest common prefix length of a and b,
+// between 0 and 128.
+func CommonPrefixLen(a, b Addr) int {
+	if x := a.Hi ^ b.Hi; x != 0 {
+		return bits.LeadingZeros64(x)
+	}
+	if x := a.Lo ^ b.Lo; x != 0 {
+		return 64 + bits.LeadingZeros64(x)
+	}
+	return 128
+}
+
+// Prefix is an IPv6 CIDR prefix with a canonical (host-bits-zero) base.
+type Prefix struct {
+	Base Addr
+	Len  int
+}
+
+// MustParsePrefix parses "addr/len" CIDR notation and panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses CIDR notation; the base must be aligned.
+func ParsePrefix(s string) (Prefix, error) {
+	i := strings.LastIndexByte(s, '/')
+	if i < 0 {
+		return Prefix{}, fmt.Errorf("ip6util: missing '/' in %q", s)
+	}
+	a, err := ParseAddr(s[:i])
+	if err != nil {
+		return Prefix{}, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(s[i+1:], "%d", &n); err != nil || n < 0 || n > 128 {
+		return Prefix{}, fmt.Errorf("ip6util: bad prefix length in %q", s)
+	}
+	p := PrefixOf(a, n)
+	if p.Base != a {
+		return Prefix{}, fmt.Errorf("ip6util: %q has host bits set", s)
+	}
+	return p, nil
+}
+
+// PrefixOf returns the length-n prefix containing a.
+func PrefixOf(a Addr, n int) Prefix {
+	p := Prefix{Len: n}
+	switch {
+	case n <= 0:
+	case n <= 64:
+		p.Base.Hi = a.Hi &^ (^uint64(0) >> uint(n))
+	default:
+		p.Base.Hi = a.Hi
+		if n < 128 {
+			p.Base.Lo = a.Lo &^ (^uint64(0) >> uint(n-64))
+		} else {
+			p.Base.Lo = a.Lo
+		}
+	}
+	return p
+}
+
+// Contains reports whether the prefix covers a.
+func (p Prefix) Contains(a Addr) bool {
+	return PrefixOf(a, p.Len).Base == p.Base
+}
+
+// String renders the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.Base, p.Len)
+}
+
+// Subnet64 identifies the IPv6 measurement unit: the /64 containing an
+// address (the role the /24 plays in v4).
+func Subnet64(a Addr) Prefix { return PrefixOf(a, 64) }
+
+// IID returns the 64-bit interface identifier within the address's /64 —
+// the quantity Hobbit's hierarchy test ranges over in IPv6.
+func IID(a Addr) uint64 { return a.Lo }
+
+// Range is an inclusive IID span; the hierarchy test of the paper carries
+// over verbatim with 64-bit interface identifiers in place of host
+// octets.
+type Range struct {
+	Lo, Hi uint64
+}
+
+// RangeOfIIDs computes the enclosing range of a non-empty IID set.
+func RangeOfIIDs(iids []uint64) Range {
+	if len(iids) == 0 {
+		panic("ip6util: RangeOfIIDs of empty set")
+	}
+	r := Range{Lo: iids[0], Hi: iids[0]}
+	for _, v := range iids[1:] {
+		if v < r.Lo {
+			r.Lo = v
+		}
+		if v > r.Hi {
+			r.Hi = v
+		}
+	}
+	return r
+}
+
+// Hierarchical reports whether the pair relationship is disjoint or
+// inclusive (Figure 2's criterion over IIDs).
+func (r Range) Hierarchical(s Range) bool {
+	disjoint := r.Hi < s.Lo || s.Hi < r.Lo
+	rInS := s.Lo <= r.Lo && r.Hi <= s.Hi
+	sInR := r.Lo <= s.Lo && s.Hi <= r.Hi
+	return disjoint || rInS || sInR
+}
+
+// Group is a set of IIDs within one /64 sharing a last-hop router,
+// labelled by that router (any comparable label works; string keeps the
+// package self-contained).
+type Group struct {
+	LastHop string
+	IIDs    []uint64
+}
+
+// NonHierarchical applies Hobbit's homogeneity evidence to a /64: some
+// pair of last-hop groups partially overlaps, which only per-destination
+// load balancing produces.
+func NonHierarchical(groups []Group) bool {
+	ranges := make([]Range, len(groups))
+	for i, g := range groups {
+		ranges[i] = RangeOfIIDs(g.IIDs)
+	}
+	for i := 0; i < len(ranges); i++ {
+		for j := i + 1; j < len(ranges); j++ {
+			if !ranges[i].Hierarchical(ranges[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}

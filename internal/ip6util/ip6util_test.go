@@ -1,0 +1,155 @@
+package ip6util
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in string
+		hi uint64
+		lo uint64
+		ok bool
+	}{
+		{"::", 0, 0, true},
+		{"::1", 0, 1, true},
+		{"2001:db8::1", 0x20010db800000000, 1, true},
+		{"fe80::1:2:3:4", 0xfe80000000000000, 0x0001000200030004, true},
+		{"2001:db8:0:0:0:0:0:1", 0x20010db800000000, 1, true},
+		{"1:2:3:4:5:6:7:8", 0x0001000200030004, 0x0005000600070008, true},
+		{"1:2:3", 0, 0, false},
+		{"1::2::3", 0, 0, false},
+		{"1:2:3:4:5:6:7:8:9", 0, 0, false},
+		{"12345::", 0, 0, false},
+		{"g::", 0, 0, false},
+		{"1:2:3:4::5:6:7:8", 0, 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseAddr(%q) err=%v want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && (got.Hi != c.hi || got.Lo != c.lo) {
+			t.Errorf("ParseAddr(%q) = %x:%x, want %x:%x", c.in, got.Hi, got.Lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		a := Addr{Hi: hi, Lo: lo}
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Compression picks the longest zero run.
+	if got := MustParseAddr("2001:0:0:1:0:0:0:1").String(); got != "2001:0:0:1::1" {
+		t.Errorf("compression = %q", got)
+	}
+	if got := (Addr{}).String(); got != "::" {
+		t.Errorf("zero address = %q", got)
+	}
+}
+
+func TestCmpAndCommonPrefix(t *testing.T) {
+	a := MustParseAddr("2001:db8::1")
+	b := MustParseAddr("2001:db8::2")
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Error("Cmp ordering broken")
+	}
+	if got := CommonPrefixLen(a, b); got != 126 {
+		t.Errorf("CommonPrefixLen = %d, want 126", got)
+	}
+	if got := CommonPrefixLen(a, a); got != 128 {
+		t.Errorf("self CommonPrefixLen = %d", got)
+	}
+	c := MustParseAddr("3001::")
+	if got := CommonPrefixLen(a, c); got != 3 {
+		t.Errorf("CommonPrefixLen(2001::, 3001::) = %d, want 3", got)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/32")
+	if !p.Contains(MustParseAddr("2001:db8:ffff::1")) {
+		t.Error("prefix should contain subnet address")
+	}
+	if p.Contains(MustParseAddr("2001:db9::")) {
+		t.Error("prefix should not contain neighbor")
+	}
+	if p.String() != "2001:db8::/32" {
+		t.Errorf("String = %q", p.String())
+	}
+	for _, bad := range []string{"2001:db8::1/32", "2001:db8::", "::/129", "x/64"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) unexpectedly succeeded", bad)
+		}
+	}
+	// /0 and /128 edge cases.
+	if !MustParsePrefix("::/0").Contains(MustParseAddr("ffff::1")) {
+		t.Error("/0 contains everything")
+	}
+	host := MustParsePrefix("2001:db8::7/128")
+	if !host.Contains(MustParseAddr("2001:db8::7")) || host.Contains(MustParseAddr("2001:db8::8")) {
+		t.Error("/128 must match exactly")
+	}
+	// Lengths crossing the 64-bit boundary.
+	p72 := PrefixOf(MustParseAddr("2001:db8::ff00:0:0:1"), 72)
+	if !p72.Contains(MustParseAddr("2001:db8::ff00:0:0:2")) {
+		t.Error("/72 prefix broken")
+	}
+}
+
+func TestSubnet64AndIID(t *testing.T) {
+	a := MustParseAddr("2001:db8:1:2:aaaa:bbbb:cccc:dddd")
+	s := Subnet64(a)
+	if s.String() != "2001:db8:1:2::/64" {
+		t.Errorf("Subnet64 = %v", s)
+	}
+	if IID(a) != 0xaaaabbbbccccdddd {
+		t.Errorf("IID = %x", IID(a))
+	}
+}
+
+func TestHierarchyOverIIDs(t *testing.T) {
+	// The v4 Figure 2 cases transliterated to interface identifiers.
+	disjoint := []Group{
+		{LastHop: "r1", IIDs: []uint64{2, 126}},
+		{LastHop: "r2", IIDs: []uint64{130, 237}},
+	}
+	if NonHierarchical(disjoint) {
+		t.Error("disjoint IID groups should be hierarchical")
+	}
+	interleaved := []Group{
+		{LastHop: "r1", IIDs: []uint64{2, 130}},
+		{LastHop: "r2", IIDs: []uint64{126, 237}},
+	}
+	if !NonHierarchical(interleaved) {
+		t.Error("interleaved IID groups should be non-hierarchical")
+	}
+	// SLAAC-style IIDs scattered over the full 64-bit space behave the
+	// same way.
+	rng := rand.New(rand.NewSource(6))
+	groups := []Group{{LastHop: "r1"}, {LastHop: "r2"}, {LastHop: "r3"}}
+	for i := 0; i < 60; i++ {
+		g := &groups[rng.Intn(3)]
+		g.IIDs = append(g.IIDs, rng.Uint64())
+	}
+	if !NonHierarchical(groups) {
+		t.Error("hash-assigned SLAAC IIDs should interleave")
+	}
+}
+
+func TestRangeOfIIDsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty RangeOfIIDs should panic")
+		}
+	}()
+	RangeOfIIDs(nil)
+}

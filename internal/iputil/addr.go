@@ -1,0 +1,155 @@
+// Package iputil provides compact IPv4 address and prefix arithmetic used
+// throughout the Hobbit measurement pipeline: /24 and /26 block keys,
+// longest-common-prefix math, address ranges, and parsing/formatting.
+//
+// Addresses are represented as host-order uint32 values (Addr) rather than
+// net.IP so that they can be used as map keys, sorted, and manipulated with
+// plain integer arithmetic in the hot paths of the simulator and the
+// classifier.
+package iputil
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// MustParseAddr parses a dotted-decimal IPv4 address and panics on error.
+// It is intended for constants in tests and table-driven fixtures.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseAddr parses a dotted-decimal IPv4 address.
+func ParseAddr(s string) (Addr, error) {
+	var a uint32
+	rest := s
+	for i := 0; i < 4; i++ {
+		var part string
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("iputil: invalid IPv4 address %q", s)
+			}
+			part, rest = rest[:dot], rest[dot+1:]
+		} else {
+			part = rest
+		}
+		if part == "" || len(part) > 3 {
+			return 0, fmt.Errorf("iputil: invalid IPv4 address %q", s)
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("iputil: invalid IPv4 address %q", s)
+		}
+		// Reject leading zeros such as "01" to stay strict like netip.
+		if len(part) > 1 && part[0] == '0' {
+			return 0, fmt.Errorf("iputil: invalid IPv4 address %q (leading zero)", s)
+		}
+		a = a<<8 | uint32(v)
+	}
+	return Addr(a), nil
+}
+
+// String renders the address in dotted-decimal notation.
+func (a Addr) String() string {
+	var b strings.Builder
+	b.Grow(15)
+	for shift := 24; shift >= 0; shift -= 8 {
+		if shift != 24 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.Itoa(int(a >> uint(shift) & 0xff)))
+	}
+	return b.String()
+}
+
+// Octets returns the four dotted-decimal octets of the address.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// Block24 returns the /24 block containing a.
+func (a Addr) Block24() Block24 { return Block24(a >> 8) }
+
+// Block26 returns the index (0..3) of the /26 within a's /24.
+func (a Addr) Block26() int { return int(a >> 6 & 0x3) }
+
+// Block31 returns the base address of the /31 containing a.
+func (a Addr) Block31() Addr { return a &^ 1 }
+
+// Low8 returns the host octet of the address within its /24.
+func (a Addr) Low8() int { return int(a & 0xff) }
+
+// CommonPrefixLen returns the length of the longest common prefix of a and
+// b, between 0 and 32.
+func CommonPrefixLen(a, b Addr) int {
+	if a == b {
+		return 32
+	}
+	return bits.LeadingZeros32(uint32(a) ^ uint32(b))
+}
+
+// Block24 identifies an IPv4 /24 block by its upper 24 bits. It is the
+// primary unit of measurement in the paper.
+type Block24 uint32
+
+// MustParseBlock24 parses "a.b.c.0/24" (or just "a.b.c.0") into a Block24
+// and panics on error.
+func MustParseBlock24(s string) Block24 {
+	b, err := ParseBlock24(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// ParseBlock24 parses a /24 block written either as a bare base address
+// ("192.0.2.0") or CIDR notation ("192.0.2.0/24").
+func ParseBlock24(s string) (Block24, error) {
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		if s[i+1:] != "24" {
+			return 0, fmt.Errorf("iputil: %q is not a /24", s)
+		}
+		s = s[:i]
+	}
+	a, err := ParseAddr(s)
+	if err != nil {
+		return 0, err
+	}
+	if a&0xff != 0 {
+		return 0, fmt.Errorf("iputil: %q is not /24-aligned", s)
+	}
+	return a.Block24(), nil
+}
+
+// Base returns the lowest address of the block (the .0 address).
+func (b Block24) Base() Addr { return Addr(b) << 8 }
+
+// Addr returns the address at host offset i (0..255) within the block.
+func (b Block24) Addr(i int) Addr { return Addr(b)<<8 | Addr(i&0xff) }
+
+// Contains reports whether address a lies in the block.
+func (b Block24) Contains(a Addr) bool { return a.Block24() == b }
+
+// String renders the block in CIDR notation, e.g. "192.0.2.0/24".
+func (b Block24) String() string { return b.Base().String() + "/24" }
+
+// CommonPrefixLen24 returns the longest common prefix length of two /24
+// blocks measured in block bits, i.e. in the range 0..24 where 24 means the
+// blocks are identical. This is the adjacency metric of Figure 7, which the
+// paper describes over 24-bit prefixes (lengths 0..23 for distinct blocks).
+func CommonPrefixLen24(a, b Block24) int {
+	if a == b {
+		return 24
+	}
+	return bits.LeadingZeros32((uint32(a) ^ uint32(b)) << 8)
+}

@@ -1,0 +1,157 @@
+package iputil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"192.0.2.1", 0xc0000201, true},
+		{"10.1.2.3", 0x0a010203, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"-1.0.0.1", 0, false},
+		{"01.2.3.4", 0, false},
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+		{"1..2.3", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseAddr(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, uint32(got), uint32(c.want))
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		back, err := ParseAddr(addr.String())
+		return err == nil && back == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrAccessors(t *testing.T) {
+	a := MustParseAddr("192.0.2.197")
+	if got := a.Block24(); got != MustParseBlock24("192.0.2.0/24") {
+		t.Errorf("Block24 = %v", got)
+	}
+	if got := a.Block26(); got != 3 { // .197 is in .192/26
+		t.Errorf("Block26 = %d, want 3", got)
+	}
+	if got := a.Block31(); got != MustParseAddr("192.0.2.196") {
+		t.Errorf("Block31 = %v", got)
+	}
+	if got := a.Low8(); got != 197 {
+		t.Errorf("Low8 = %d", got)
+	}
+	if got := a.Octets(); got != [4]byte{192, 0, 2, 197} {
+		t.Errorf("Octets = %v", got)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"0.0.0.0", "128.0.0.0", 0},
+		{"10.0.0.0", "10.0.0.0", 32},
+		{"10.0.0.0", "10.0.0.1", 31},
+		{"10.0.0.0", "10.0.1.0", 23},
+		{"192.0.2.0", "192.0.3.0", 23},
+		{"192.0.2.0", "193.0.2.0", 7},
+	}
+	for _, c := range cases {
+		got := CommonPrefixLen(MustParseAddr(c.a), MustParseAddr(c.b))
+		if got != c.want {
+			t.Errorf("CommonPrefixLen(%s, %s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCommonPrefixLenSymmetric(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return CommonPrefixLen(Addr(a), Addr(b)) == CommonPrefixLen(Addr(b), Addr(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlock24(t *testing.T) {
+	b := MustParseBlock24("198.51.100.0/24")
+	if b.Base() != MustParseAddr("198.51.100.0") {
+		t.Errorf("Base = %v", b.Base())
+	}
+	if b.Addr(255) != MustParseAddr("198.51.100.255") {
+		t.Errorf("Addr(255) = %v", b.Addr(255))
+	}
+	if !b.Contains(MustParseAddr("198.51.100.77")) {
+		t.Error("Contains failed for in-block address")
+	}
+	if b.Contains(MustParseAddr("198.51.101.0")) {
+		t.Error("Contains succeeded for out-of-block address")
+	}
+	if b.String() != "198.51.100.0/24" {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestParseBlock24Errors(t *testing.T) {
+	for _, in := range []string{"1.2.3.4", "1.2.3.0/25", "1.2.3/24", "garbage"} {
+		if _, err := ParseBlock24(in); err == nil {
+			t.Errorf("ParseBlock24(%q) unexpectedly succeeded", in)
+		}
+	}
+	if got := MustParseBlock24("1.2.3.0"); got.String() != "1.2.3.0/24" {
+		t.Errorf("bare base parse = %v", got)
+	}
+}
+
+func TestCommonPrefixLen24(t *testing.T) {
+	a := MustParseBlock24("10.0.0.0/24")
+	if got := CommonPrefixLen24(a, a); got != 24 {
+		t.Errorf("identical blocks LCP = %d, want 24", got)
+	}
+	b := MustParseBlock24("10.0.1.0/24")
+	if got := CommonPrefixLen24(a, b); got != 23 {
+		t.Errorf("adjacent blocks LCP = %d, want 23", got)
+	}
+	c := MustParseBlock24("128.0.0.0/24")
+	if got := CommonPrefixLen24(a, c); got != 0 {
+		t.Errorf("far blocks LCP = %d, want 0", got)
+	}
+}
+
+func TestCommonPrefixLen24MatchesAddrLCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := Block24(rng.Uint32() >> 8)
+		b := Block24(rng.Uint32() >> 8)
+		want := CommonPrefixLen(a.Base(), b.Base())
+		if want > 24 {
+			want = 24
+		}
+		if got := CommonPrefixLen24(a, b); got != want {
+			t.Fatalf("CommonPrefixLen24(%v, %v) = %d, want %d", a, b, got, want)
+		}
+	}
+}

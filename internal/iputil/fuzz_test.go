@@ -1,0 +1,48 @@
+package iputil
+
+import "testing"
+
+func FuzzParseAddr(f *testing.F) {
+	for _, seed := range []string{
+		"0.0.0.0", "255.255.255.255", "192.0.2.1", "1.2.3", "1..2.3",
+		"256.1.1.1", "01.2.3.4", "a.b.c.d", "", "1.2.3.4.5", "-1.2.3.4",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		// Anything that parses must round-trip exactly.
+		back, err := ParseAddr(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip failed for %q -> %v", s, a)
+		}
+	})
+}
+
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{
+		"10.0.0.0/8", "192.0.2.0/24", "0.0.0.0/0", "1.2.3.4/32",
+		"10.0.0.1/8", "10.0.0.0/33", "10.0.0.0/-1", "/8", "10.0.0.0/",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if p.Len < 0 || p.Len > 32 {
+			t.Fatalf("accepted invalid length %d from %q", p.Len, s)
+		}
+		if !p.Contains(p.First()) || !p.Contains(p.Last()) {
+			t.Fatalf("prefix %v does not contain its own bounds", p)
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip failed for %q -> %v", s, p)
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package iputil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	if p.Base != MustParseAddr("10.0.0.0") || p.Len != 8 {
+		t.Fatalf("ParsePrefix = %+v", p)
+	}
+	if p.String() != "10.0.0.0/8" {
+		t.Errorf("String = %q", p.String())
+	}
+	for _, bad := range []string{"10.0.0.1/8", "10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "x/8"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("192.0.2.128/25")
+	if !p.Contains(MustParseAddr("192.0.2.200")) {
+		t.Error("should contain .200")
+	}
+	if p.Contains(MustParseAddr("192.0.2.100")) {
+		t.Error("should not contain .100")
+	}
+	if p.First() != MustParseAddr("192.0.2.128") || p.Last() != MustParseAddr("192.0.2.255") {
+		t.Errorf("First/Last = %v/%v", p.First(), p.Last())
+	}
+	if p.Size() != 128 {
+		t.Errorf("Size = %d", p.Size())
+	}
+}
+
+func TestPrefixHierarchy(t *testing.T) {
+	parent := MustParsePrefix("10.0.0.0/8")
+	child := MustParsePrefix("10.1.0.0/16")
+	sibling := MustParsePrefix("11.0.0.0/8")
+	if !parent.ContainsPrefix(child) {
+		t.Error("parent should contain child")
+	}
+	if child.ContainsPrefix(parent) {
+		t.Error("child should not contain parent")
+	}
+	if !parent.Overlaps(child) || !child.Overlaps(parent) {
+		t.Error("parent/child should overlap")
+	}
+	if parent.Overlaps(sibling) {
+		t.Error("siblings should not overlap")
+	}
+}
+
+func TestPrefixOfCanonical(t *testing.T) {
+	f := func(a uint32, n uint8) bool {
+		ln := int(n % 33)
+		p := PrefixOf(Addr(a), ln)
+		return p.Contains(Addr(a)) || ln == 0 && p.Contains(Addr(a)) // /0 contains all
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// /0 contains everything.
+	if !PrefixOf(0, 0).Contains(0xffffffff) {
+		t.Error("/0 should contain 255.255.255.255")
+	}
+}
+
+func TestRangeOf(t *testing.T) {
+	addrs := []Addr{
+		MustParseAddr("10.0.0.9"),
+		MustParseAddr("10.0.0.3"),
+		MustParseAddr("10.0.0.200"),
+	}
+	r := RangeOf(addrs)
+	if r.Lo != MustParseAddr("10.0.0.3") || r.Hi != MustParseAddr("10.0.0.200") {
+		t.Fatalf("RangeOf = %v", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RangeOf(empty) should panic")
+		}
+	}()
+	RangeOf(nil)
+}
+
+func TestRangeHierarchical(t *testing.T) {
+	mk := func(lo, hi int) Range {
+		base := MustParseAddr("10.0.0.0")
+		return Range{Lo: base + Addr(lo), Hi: base + Addr(hi)}
+	}
+	cases := []struct {
+		a, b Range
+		want bool
+	}{
+		{mk(0, 10), mk(11, 20), true},  // disjoint siblings
+		{mk(0, 100), mk(10, 20), true}, // inclusion
+		{mk(10, 20), mk(0, 100), true}, // inclusion reversed
+		{mk(0, 15), mk(10, 20), false}, // partial overlap -> non-hierarchical
+		{mk(10, 20), mk(0, 15), false}, // partial overlap reversed
+		{mk(5, 5), mk(5, 5), true},     // identical singletons include each other
+		{mk(0, 20), mk(20, 40), false}, // share a single endpoint: overlap, no inclusion
+		{mk(0, 20), mk(0, 40), true},   // shared lo endpoint: inclusion
+	}
+	for i, c := range cases {
+		if got := c.a.Hierarchical(c.b); got != c.want {
+			t.Errorf("case %d: Hierarchical(%v, %v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+		if got := c.b.Hierarchical(c.a); got != c.want {
+			t.Errorf("case %d (sym): Hierarchical(%v, %v) = %v, want %v", i, c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestEnclosingPrefix(t *testing.T) {
+	addrs := []Addr{MustParseAddr("10.0.0.2"), MustParseAddr("10.0.0.125")}
+	p := EnclosingPrefix(addrs)
+	if p != MustParsePrefix("10.0.0.0/25") {
+		t.Errorf("EnclosingPrefix = %v, want 10.0.0.0/25", p)
+	}
+	one := EnclosingPrefix([]Addr{MustParseAddr("10.0.0.7")})
+	if one != MustParsePrefix("10.0.0.7/32") {
+		t.Errorf("singleton EnclosingPrefix = %v", one)
+	}
+	// The paper's example: .129-.254 is enclosed by .128/25.
+	hi := EnclosingPrefix([]Addr{MustParseAddr("10.0.0.129"), MustParseAddr("10.0.0.254")})
+	if hi != MustParsePrefix("10.0.0.128/25") {
+		t.Errorf("upper half EnclosingPrefix = %v", hi)
+	}
+}
+
+func TestEnclosingPrefixProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		n := 1 + rng.Intn(8)
+		addrs := make([]Addr, n)
+		base := Addr(rng.Uint32())
+		for j := range addrs {
+			addrs[j] = base + Addr(rng.Intn(256))
+		}
+		p := EnclosingPrefix(addrs)
+		for _, a := range addrs {
+			if !p.Contains(a) {
+				t.Fatalf("enclosing prefix %v does not contain %v", p, a)
+			}
+		}
+		// Minimality: the prefix one bit longer cannot contain all addresses
+		// unless all addresses are equal and p is /32.
+		if p.Len < 32 {
+			narrower := PrefixOf(addrs[0], p.Len+1)
+			all := true
+			for _, a := range addrs {
+				if !narrower.Contains(a) {
+					all = false
+					break
+				}
+			}
+			if all {
+				t.Fatalf("enclosing prefix %v is not minimal for %v", p, addrs)
+			}
+		}
+	}
+}
+
+func TestSorting(t *testing.T) {
+	addrs := []Addr{3, 1, 2}
+	SortAddrs(addrs)
+	if addrs[0] != 1 || addrs[2] != 3 {
+		t.Errorf("SortAddrs = %v", addrs)
+	}
+	blocks := []Block24{9, 4, 6}
+	SortBlocks(blocks)
+	if blocks[0] != 4 || blocks[2] != 9 {
+		t.Errorf("SortBlocks = %v", blocks)
+	}
+}

@@ -1,0 +1,30 @@
+package mcl_test
+
+import (
+	"fmt"
+
+	"github.com/hobbitscan/hobbit/internal/graph"
+	"github.com/hobbitscan/hobbit/internal/mcl"
+)
+
+// Clustering a weighted graph: two dense families bridged by one weak
+// edge separate cleanly.
+func ExampleCluster() {
+	g := graph.New(6)
+	// Family A: 0-1-2, Family B: 3-4-5.
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(3, 5, 1)
+	// A weak bridge.
+	g.AddEdge(2, 3, 0.05)
+
+	for _, cluster := range mcl.Cluster(g, mcl.Options{}) {
+		fmt.Println(cluster)
+	}
+	// Output:
+	// [0 1 2]
+	// [3 4 5]
+}

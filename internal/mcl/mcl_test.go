@@ -1,0 +1,184 @@
+package mcl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/graph"
+)
+
+// twoCliques builds two dense clusters joined by one weak edge.
+func twoCliques(n int, bridge float64) *graph.Graph {
+	g := graph.New(2 * n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j, 1)
+			g.AddEdge(n+i, n+j, 1)
+		}
+	}
+	if bridge > 0 {
+		g.AddEdge(0, n, bridge)
+	}
+	return g
+}
+
+func clusterOf(clusters [][]int, v int) []int {
+	for _, c := range clusters {
+		for _, m := range c {
+			if m == v {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+func TestClusterSeparatesCliques(t *testing.T) {
+	g := twoCliques(6, 0.05)
+	clusters := Cluster(g, Options{})
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	c0 := clusterOf(clusters, 0)
+	if len(c0) != 6 || c0[5] != 5 {
+		t.Errorf("first clique cluster = %v", c0)
+	}
+	c6 := clusterOf(clusters, 6)
+	if len(c6) != 6 || c6[0] != 6 {
+		t.Errorf("second clique cluster = %v", c6)
+	}
+}
+
+func TestClusterPartition(t *testing.T) {
+	// Every vertex appears exactly once regardless of structure.
+	rng := rand.New(rand.NewSource(11))
+	g := graph.New(40)
+	for i := 0; i < 120; i++ {
+		g.AddEdge(rng.Intn(40), rng.Intn(40), rng.Float64())
+	}
+	clusters := Cluster(g, Options{})
+	seen := make(map[int]int)
+	for _, c := range clusters {
+		for _, v := range c {
+			seen[v]++
+		}
+	}
+	if len(seen) != 40 {
+		t.Fatalf("covered %d of 40 vertices", len(seen))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("vertex %d appears %d times", v, n)
+		}
+	}
+}
+
+func TestInflationGranularity(t *testing.T) {
+	// A chain graph: higher inflation must produce at least as many
+	// clusters (finer granularity), the property the parameter sweep
+	// exploits.
+	g := graph.New(24)
+	for i := 0; i+1 < 24; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	coarse := Cluster(g, Options{Inflation: 1.3})
+	fine := Cluster(g, Options{Inflation: 3.5})
+	if len(fine) < len(coarse) {
+		t.Errorf("inflation 3.5 gave %d clusters, 1.3 gave %d", len(fine), len(coarse))
+	}
+}
+
+func TestIsolatedVerticesSingletons(t *testing.T) {
+	g := graph.New(3) // no edges at all
+	clusters := Cluster(g, Options{})
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	for i, c := range clusters {
+		if len(c) != 1 || c[0] != i {
+			t.Errorf("cluster %d = %v", i, c)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	if got := Cluster(graph.New(0), Options{}); got != nil {
+		t.Errorf("empty graph clusters = %v", got)
+	}
+}
+
+func TestMatrixStochasticInvariant(t *testing.T) {
+	g := twoCliques(5, 0.2)
+	m := fromGraph(g, 1.0)
+	checkStochastic := func(m matrix, stage string) {
+		for j := range m {
+			var sum float64
+			for _, e := range m[j] {
+				sum += e.val
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%s: column %d sums to %v", stage, j, sum)
+			}
+		}
+	}
+	checkStochastic(m, "initial")
+	scratch := make([]float64, g.Len())
+	m = m.expand(scratch, nil)
+	checkStochastic(m, "expanded")
+	m.inflate(2.0, 1e-5)
+	checkStochastic(m, "inflated")
+}
+
+func TestDeterministic(t *testing.T) {
+	g := twoCliques(5, 0.1)
+	a := Cluster(g, Options{})
+	b := Cluster(g, Options{})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic cluster count")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("nondeterministic cluster sizes")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("nondeterministic membership")
+			}
+		}
+	}
+}
+
+func TestWeightSensitivity(t *testing.T) {
+	// Vertex 4 is tied strongly to clique A and weakly to clique B; it
+	// must cluster with A.
+	g := graph.New(9)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j, 1)
+		}
+	}
+	for i := 5; i < 9; i++ {
+		for j := i + 1; j < 9; j++ {
+			g.AddEdge(i, j, 1)
+		}
+	}
+	g.AddEdge(4, 0, 0.9)
+	g.AddEdge(4, 1, 0.9)
+	g.AddEdge(4, 5, 0.05)
+	clusters := Cluster(g, Options{})
+	c := clusterOf(clusters, 4)
+	has0 := false
+	has5 := false
+	for _, v := range c {
+		if v == 0 {
+			has0 = true
+		}
+		if v == 5 {
+			has5 = true
+		}
+	}
+	if !has0 || has5 {
+		t.Errorf("vertex 4 clustered as %v; want with clique A only", c)
+	}
+}

@@ -1,0 +1,142 @@
+// Package metadata provides the lookup side-channels the paper joins
+// against its measurement results: a GeoLite-style ASN/organization/
+// geolocation database, a KRNIC-style WHOIS registry with sub-/24 customer
+// allocations, and a reverse-DNS store with per-population naming patterns.
+//
+// In the original study these were external data sources (Maxmind GeoLite,
+// KRNIC WHOIS, live rDNS). Here they are populated by the netsim world
+// builder, but the query interfaces are source-agnostic so a user with real
+// databases can implement the same lookups.
+package metadata
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// OrgType classifies the owning organization of an address block, following
+// the categories of Tables 3 and 5.
+type OrgType int
+
+// Organization types used in the paper's tables.
+const (
+	OrgUnknown OrgType = iota
+	OrgBroadbandISP
+	OrgHosting
+	OrgHostingCloud
+	OrgMobileISP
+	OrgFixedISP
+)
+
+// String renders the organization type as the paper's table labels.
+func (t OrgType) String() string {
+	switch t {
+	case OrgBroadbandISP:
+		return "Broadband ISP"
+	case OrgHosting:
+		return "Hosting"
+	case OrgHostingCloud:
+		return "Hosting/Cloud"
+	case OrgMobileISP:
+		return "Mobile ISP"
+	case OrgFixedISP:
+		return "Fixed ISP"
+	default:
+		return "Unknown"
+	}
+}
+
+// ASInfo describes one autonomous system.
+type ASInfo struct {
+	ASN     int
+	Org     string
+	Country string
+	Type    OrgType
+}
+
+// String renders the AS the way the paper's tables do, e.g. "AS4766".
+func (a ASInfo) String() string { return fmt.Sprintf("AS%d", a.ASN) }
+
+// GeoDB maps /24 blocks to their AS-level metadata, standing in for the
+// Maxmind GeoLite ASN and geolocation databases.
+type GeoDB struct {
+	ases   map[int]ASInfo
+	blocks map[iputil.Block24]int // block -> ASN
+	cities map[iputil.Block24]string
+}
+
+// NewGeoDB returns an empty database.
+func NewGeoDB() *GeoDB {
+	return &GeoDB{
+		ases:   make(map[int]ASInfo),
+		blocks: make(map[iputil.Block24]int),
+		cities: make(map[iputil.Block24]string),
+	}
+}
+
+// AddAS registers an autonomous system.
+func (db *GeoDB) AddAS(info ASInfo) { db.ases[info.ASN] = info }
+
+// Assign maps a /24 block to an ASN previously registered with AddAS.
+func (db *GeoDB) Assign(b iputil.Block24, asn int) { db.blocks[b] = asn }
+
+// AssignCity records a city-level geolocation for a block.
+func (db *GeoDB) AssignCity(b iputil.Block24, city string) { db.cities[b] = city }
+
+// Lookup returns the AS metadata for a block.
+func (db *GeoDB) Lookup(b iputil.Block24) (ASInfo, bool) {
+	asn, ok := db.blocks[b]
+	if !ok {
+		return ASInfo{}, false
+	}
+	info, ok := db.ases[asn]
+	return info, ok
+}
+
+// City returns the recorded city for a block, or "" if unknown.
+func (db *GeoDB) City(b iputil.Block24) string { return db.cities[b] }
+
+// ASes returns all registered ASes sorted by ASN.
+func (db *GeoDB) ASes() []ASInfo {
+	out := make([]ASInfo, 0, len(db.ases))
+	for _, info := range db.ases {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// NumBlocks returns the number of /24 assignments in the database.
+func (db *GeoDB) NumBlocks() int { return len(db.blocks) }
+
+// GroupByAS buckets the given blocks by their owning AS and returns the
+// groups sorted by descending size then ascending ASN — the arrangement of
+// Table 3.
+func (db *GeoDB) GroupByAS(blocks []iputil.Block24) []ASGroup {
+	byASN := make(map[int][]iputil.Block24)
+	for _, b := range blocks {
+		if asn, ok := db.blocks[b]; ok {
+			byASN[asn] = append(byASN[asn], b)
+		}
+	}
+	out := make([]ASGroup, 0, len(byASN))
+	for asn, bs := range byASN {
+		iputil.SortBlocks(bs)
+		out = append(out, ASGroup{AS: db.ases[asn], Blocks: bs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Blocks) != len(out[j].Blocks) {
+			return len(out[i].Blocks) > len(out[j].Blocks)
+		}
+		return out[i].AS.ASN < out[j].AS.ASN
+	})
+	return out
+}
+
+// ASGroup is a set of blocks owned by one AS.
+type ASGroup struct {
+	AS     ASInfo
+	Blocks []iputil.Block24
+}

@@ -1,0 +1,184 @@
+package metadata
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+func b24(s string) iputil.Block24 { return iputil.MustParseBlock24(s) }
+
+func TestGeoDBLookup(t *testing.T) {
+	db := NewGeoDB()
+	db.AddAS(ASInfo{ASN: 4766, Org: "Korea Telecom", Country: "Korea", Type: OrgBroadbandISP})
+	blk := b24("220.83.88.0/24")
+	db.Assign(blk, 4766)
+	db.AssignCity(blk, "Cheongju-Si")
+
+	info, ok := db.Lookup(blk)
+	if !ok || info.Org != "Korea Telecom" || info.String() != "AS4766" {
+		t.Fatalf("Lookup = %+v, %v", info, ok)
+	}
+	if db.City(blk) != "Cheongju-Si" {
+		t.Errorf("City = %q", db.City(blk))
+	}
+	if _, ok := db.Lookup(b24("10.0.0.0/24")); ok {
+		t.Error("unknown block should miss")
+	}
+	if db.NumBlocks() != 1 {
+		t.Errorf("NumBlocks = %d", db.NumBlocks())
+	}
+}
+
+func TestGeoDBGroupByAS(t *testing.T) {
+	db := NewGeoDB()
+	db.AddAS(ASInfo{ASN: 1, Org: "big"})
+	db.AddAS(ASInfo{ASN: 2, Org: "small"})
+	blocks := []iputil.Block24{b24("1.0.0.0"), b24("1.0.1.0"), b24("2.0.0.0"), b24("9.9.9.0")}
+	db.Assign(blocks[0], 1)
+	db.Assign(blocks[1], 1)
+	db.Assign(blocks[2], 2)
+	// blocks[3] unassigned: should be dropped.
+	groups := db.GroupByAS(blocks)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].AS.Org != "big" || len(groups[0].Blocks) != 2 {
+		t.Errorf("top group = %+v", groups[0])
+	}
+	if groups[1].AS.Org != "small" || len(groups[1].Blocks) != 1 {
+		t.Errorf("second group = %+v", groups[1])
+	}
+}
+
+func TestOrgTypeString(t *testing.T) {
+	cases := map[OrgType]string{
+		OrgBroadbandISP: "Broadband ISP",
+		OrgHosting:      "Hosting",
+		OrgHostingCloud: "Hosting/Cloud",
+		OrgMobileISP:    "Mobile ISP",
+		OrgFixedISP:     "Fixed ISP",
+		OrgUnknown:      "Unknown",
+	}
+	for ot, want := range cases {
+		if got := ot.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ot, got, want)
+		}
+	}
+}
+
+func TestWhoisSplit(t *testing.T) {
+	w := NewWhois()
+	// The paper's Table 4 example: 220.83.88.0/24 split in three.
+	w.Register(Allocation{Prefix: iputil.MustParsePrefix("220.83.88.0/25"), OrgName: "KT Chungbukbonbujang", NetType: "CUSTOMER", RegDate: "20160112"})
+	w.Register(Allocation{Prefix: iputil.MustParsePrefix("220.83.88.128/26"), OrgName: "Donghajeongmil", NetType: "CUSTOMER", RegDate: "20150317"})
+	w.Register(Allocation{Prefix: iputil.MustParsePrefix("220.83.88.192/26"), OrgName: "Jincheon", NetType: "CUSTOMER", RegDate: "20150317"})
+
+	blk := b24("220.83.88.0/24")
+	if !w.IsSplit(blk) {
+		t.Fatal("block should be split")
+	}
+	recs := w.Query(blk)
+	if len(recs) != 3 {
+		t.Fatalf("Query = %d records", len(recs))
+	}
+	if recs[0].Prefix.Len != 25 || recs[1].Prefix.Base != iputil.MustParseAddr("220.83.88.128") {
+		t.Errorf("records out of order: %+v", recs)
+	}
+	if w.IsSplit(b24("10.0.0.0/24")) {
+		t.Error("unknown block should not be split")
+	}
+	if got := w.Query(b24("10.0.0.0/24")); len(got) != 0 {
+		t.Errorf("unknown block query = %v", got)
+	}
+}
+
+func TestGenerateNamePatterns(t *testing.T) {
+	a := iputil.MustParseAddr("90.129.199.7")
+	tele2 := GenerateName(NameTele2Cellular, a, "com", 0)
+	if !Tele2CellularPattern.MatchString(tele2) {
+		t.Errorf("tele2 name %q does not match the paper's regex", tele2)
+	}
+	ocn := GenerateName(NameOCNOmed, a, "tokyo", 0)
+	if !IsOCNOmed(ocn) {
+		t.Errorf("OCN name %q missing omed keyword", ocn)
+	}
+	ec2 := GenerateName(NameEC2, a, "ap-northeast-1", 0)
+	if !strings.HasPrefix(ec2, "ec2-") || !strings.Contains(ec2, "ap-northeast-1") {
+		t.Errorf("EC2 name = %q", ec2)
+	}
+	cox := GenerateName(NameCoxBusiness, a, "ph.ph", 0)
+	if !strings.HasPrefix(cox, "wsip") {
+		t.Errorf("Cox business name = %q", cox)
+	}
+	res := GenerateName(NameCoxResidential, a, "ph.ph", 0)
+	if !strings.HasPrefix(res, "ip") || strings.HasPrefix(res, "wsip") {
+		t.Errorf("Cox residential name = %q", res)
+	}
+	if GenerateName(NameNone, a, "x", 0) != "" {
+		t.Error("NameNone should generate empty name")
+	}
+	// Router and generic names must not match the cellular patterns
+	// (the paper's negative check in Section 7.2).
+	router := GenerateName(NameRouter, a, "iad", 3)
+	generic := GenerateName(NameGenericISP, a, "east", 0)
+	for _, n := range []string{router, generic, ec2, cox, res} {
+		if Tele2CellularPattern.MatchString(n) || IsOCNOmed(n) {
+			t.Errorf("non-cellular name %q matches a cellular pattern", n)
+		}
+	}
+}
+
+func TestTimeWarnerVariants(t *testing.T) {
+	a := iputil.MustParseAddr("24.24.24.24")
+	seen := make(map[string]struct{})
+	for v := 0; v < 8; v++ {
+		n := GenerateName(NameTimeWarner, a, "socal", v)
+		seen[Scheme(n)] = struct{}{}
+	}
+	if len(seen) != 8 {
+		t.Errorf("expected 8 distinct Time Warner schemes, got %d", len(seen))
+	}
+	// Negative variant must not panic and must map into range.
+	if GenerateName(NameTimeWarner, a, "socal", -1) == "" {
+		t.Error("negative variant should still produce a name")
+	}
+}
+
+func TestSchemeCollapsesDigits(t *testing.T) {
+	a1 := GenerateName(NameEC2, iputil.MustParseAddr("1.2.3.4"), "us-west-1", 0)
+	a2 := GenerateName(NameEC2, iputil.MustParseAddr("9.8.7.6"), "us-west-1", 0)
+	if Scheme(a1) != Scheme(a2) {
+		t.Errorf("same scheme should collapse equal: %q vs %q", Scheme(a1), Scheme(a2))
+	}
+	b := GenerateName(NameCoxBusiness, iputil.MustParseAddr("1.2.3.4"), "ph", 0)
+	if Scheme(a1) == Scheme(b) {
+		t.Error("different schemes should stay distinct")
+	}
+}
+
+func TestRDNSStore(t *testing.T) {
+	r := NewRDNS()
+	a1 := iputil.MustParseAddr("1.2.3.4")
+	a2 := iputil.MustParseAddr("1.2.3.5")
+	a3 := iputil.MustParseAddr("1.2.3.6")
+	r.Set(a1, GenerateName(NameEC2, a1, "us-west-1", 0))
+	r.Set(a2, GenerateName(NameEC2, a2, "us-west-1", 0))
+	r.Set(a3, GenerateName(NameCoxBusiness, a3, "ph", 0))
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if _, ok := r.Lookup(a1); !ok {
+		t.Error("Lookup miss")
+	}
+	if _, ok := r.Lookup(iputil.MustParseAddr("9.9.9.9")); ok {
+		t.Error("unknown address should miss")
+	}
+	// Two EC2 names share a scheme; Cox adds a second. Unknown addresses
+	// are skipped.
+	got := r.CountSchemes([]iputil.Addr{a1, a2, a3, iputil.MustParseAddr("9.9.9.9")})
+	if got != 2 {
+		t.Errorf("CountSchemes = %d, want 2", got)
+	}
+}

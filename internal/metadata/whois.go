@@ -1,0 +1,50 @@
+package metadata
+
+import (
+	"sort"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// Allocation is one WHOIS assignment record, mirroring the fields the paper
+// shows in its KRNIC example (Table 4): a sub-/24 prefix allocated to a
+// named customer at a postal address on a registration date.
+type Allocation struct {
+	Prefix   iputil.Prefix
+	OrgName  string
+	NetType  string // e.g. "CUSTOMER"
+	Address  string
+	Province string
+	ZipCode  string
+	RegDate  string // yyyymmdd
+}
+
+// Whois is a registry of address allocations, standing in for national
+// Internet registries such as KRNIC.
+type Whois struct {
+	byBlock map[iputil.Block24][]Allocation
+}
+
+// NewWhois returns an empty registry.
+func NewWhois() *Whois {
+	return &Whois{byBlock: make(map[iputil.Block24][]Allocation)}
+}
+
+// Register adds an allocation record. Records for the same /24 accumulate.
+func (w *Whois) Register(a Allocation) {
+	b := a.Prefix.Base.Block24()
+	w.byBlock[b] = append(w.byBlock[b], a)
+}
+
+// Query returns all allocations intersecting the given /24 sorted by base
+// address, like a WHOIS query for the block would.
+func (w *Whois) Query(b iputil.Block24) []Allocation {
+	recs := append([]Allocation(nil), w.byBlock[b]...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Prefix.Base < recs[j].Prefix.Base })
+	return recs
+}
+
+// IsSplit reports whether the /24 is allocated as more than one sub-block —
+// the paper's verification that heterogeneous /24s really are split between
+// distinct customers.
+func (w *Whois) IsSplit(b iputil.Block24) bool { return len(w.byBlock[b]) > 1 }

@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"math/bits"
+	"sort"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// BGPPrefixes synthesizes the routing table a RouteViews-style snapshot of
+// the world would contain: maximal CIDR aggregates of each contiguous
+// same-pop run, with larger aggregates de-aggregated until /24s make up
+// roughly the share the paper reports (53% of BGP prefixes are /24s).
+func (w *World) BGPPrefixes() []iputil.Prefix {
+	var prefixes []iputil.Prefix
+
+	// Group the universe into per-AS allocation runs: consecutive /24s
+	// owned by the same AS, tolerating the small unallocated gaps
+	// between aggregate segments — a registry hands out allocations, not
+	// exact host runs, so announcements cover the gaps too.
+	const gapTolerance = 31
+	var runStart, runEnd iputil.Block24
+	var runASN = -1
+	flush := func() {
+		if runASN >= 0 {
+			prefixes = append(prefixes, cidrDecompose(runStart, int(runEnd-runStart)+1)...)
+		}
+		runASN = -1
+	}
+	for _, b := range w.blockList {
+		asn := w.blocks[b].asn
+		if runASN == asn && b >= runEnd && int(b-runEnd) <= gapTolerance {
+			runEnd = b
+			continue
+		}
+		flush()
+		runStart, runEnd, runASN = b, b, asn
+	}
+	flush()
+
+	// De-aggregate until /24s reach the target share. Splitting the
+	// shortest prefixes first mirrors how traffic engineering fragments
+	// large allocations.
+	const target = 0.53
+	count24 := 0
+	for _, p := range prefixes {
+		if p.Len == 24 {
+			count24++
+		}
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Len < prefixes[j].Len })
+	for i := 0; float64(count24)/float64(len(prefixes)) < target && i < len(prefixes); {
+		p := prefixes[i]
+		if p.Len >= 24 {
+			i++
+			continue
+		}
+		half := iputil.Prefix{Base: p.Base, Len: p.Len + 1}
+		other := iputil.Prefix{Base: p.Base + iputil.Addr(half.Size()), Len: p.Len + 1}
+		prefixes[i] = half
+		prefixes = append(prefixes, other)
+		if half.Len == 24 {
+			count24 += 2
+		}
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		if prefixes[i].Base != prefixes[j].Base {
+			return prefixes[i].Base < prefixes[j].Base
+		}
+		return prefixes[i].Len < prefixes[j].Len
+	})
+	return prefixes
+}
+
+// cidrDecompose covers the run of n /24s starting at base with maximal
+// aligned CIDR prefixes.
+func cidrDecompose(base iputil.Block24, n int) []iputil.Prefix {
+	var out []iputil.Prefix
+	idx := uint32(base)
+	remaining := uint32(n)
+	for remaining > 0 {
+		// Largest aligned power-of-two chunk that fits.
+		align := idx & -idx
+		if align == 0 || align > remaining {
+			align = 1 << (31 - uint(bits.LeadingZeros32(remaining)))
+		}
+		for align > remaining {
+			align >>= 1
+		}
+		ln := 24 - bits.TrailingZeros32(align)
+		out = append(out, iputil.PrefixOf(iputil.Block24(idx).Base(), ln))
+		idx += align
+		remaining -= align
+	}
+	return out
+}

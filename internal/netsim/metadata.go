@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/metadata"
+	"github.com/hobbitscan/hobbit/internal/rng"
+)
+
+// populateMetadata fills the GeoLite-style database from the generated
+// world. WHOIS records are registered during heterogeneous-block
+// materialization; rDNS names are generated lazily by RDNSName.
+func (w *World) populateMetadata() {
+	for _, a := range w.ases {
+		w.geo.AddAS(metadata.ASInfo{ASN: a.asn, Org: a.org, Country: a.country, Type: a.otype})
+	}
+	for b, rec := range w.blocks {
+		w.geo.Assign(b, rec.asn)
+		p := w.pops[rec.entries[0].pop]
+		if p.big >= 0 {
+			w.geo.AssignCity(b, w.cfg.BigBlocks[p.big].City)
+		}
+	}
+}
+
+// RDNSName returns the reverse-DNS name of an address: PTR records exist
+// for destination hosts (per their population's naming scheme) and for
+// router interfaces. ok is false when no PTR record exists.
+func (w *World) RDNSName(a iputil.Addr) (string, bool) {
+	// Router interface space.
+	if a >= routerSpaceBase && int(a-routerSpaceBase) < len(w.routers) {
+		r := w.routers[a-routerSpaceBase]
+		return metadata.GenerateName(metadata.NameRouter, a, r.region, int(a)), true
+	}
+	rec, ok := w.blocks[a.Block24()]
+	if !ok {
+		return "", false
+	}
+	var p *pop
+	entries := w.activeEntries(rec)
+	for i := range entries {
+		if entries[i].prefix.Contains(a) {
+			p = w.pops[entries[i].pop]
+			break
+		}
+	}
+	if p == nil || p.rdnsKind == metadata.NameNone {
+		return "", false
+	}
+	kind, variant := p.rdnsKind, p.rdnsVar
+	switch kind {
+	case metadata.NameTimeWarner:
+		// Some blocks host a second naming scheme (the paper's
+		// stratified sample misses 27% of patterns because blocks can
+		// contain several).
+		if rec.twcVariant2 && rng.Bool(0.5, w.seed, uint64(a), saltTWCVar) {
+			variant++
+		}
+	case metadata.NameCoxBusiness:
+		// Cox mixes business ("wsip") and residential ("ip") names.
+		if rng.Bool(0.1, w.seed, uint64(a), saltTWCVar) {
+			kind = metadata.NameCoxResidential
+		}
+	}
+	return metadata.GenerateName(kind, a, p.rdnsReg, variant), true
+}

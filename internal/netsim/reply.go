@@ -1,0 +1,255 @@
+package netsim
+
+import (
+	"hash/fnv"
+	"time"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/rng"
+	"github.com/hobbitscan/hobbit/internal/rttmodel"
+)
+
+// ReplyKind classifies a probe outcome.
+type ReplyKind int
+
+// Probe outcomes.
+const (
+	NoReply ReplyKind = iota
+	TTLExceeded
+	EchoReply
+)
+
+// ProbeReply is the world's answer to one TTL-limited probe.
+type ProbeReply struct {
+	Kind ReplyKind
+	// From is the router interface that sent a TTL-exceeded message.
+	From iputil.Addr
+	// RespTTL is the received TTL field of an echo reply, which encodes
+	// the destination's default TTL minus the reverse hop count.
+	RespTTL int
+	// RTT is the probe round-trip time for replies.
+	RTT time.Duration
+}
+
+// --- Host model: pure functions of (seed, address) ---
+
+func (w *World) activityMean(rec *blockRec) float64 {
+	switch {
+	case rec.starved:
+		return w.cfg.ActiveMeanStarved
+	case rec.lowActivity:
+		return w.cfg.ActiveMeanLow
+	default:
+		return w.cfg.ActiveMeanHigh
+	}
+}
+
+// rate26 returns the per-host activity probability within the /26 holding
+// quarter q of block b.
+func (w *World) rate26(b iputil.Block24, q int) float64 {
+	rec, ok := w.blocks[b]
+	if !ok {
+		return 0
+	}
+	mu := w.activityMean(rec)
+	noisy := rng.Norm(mu, mu/2.5, w.seed, uint64(b), uint64(q), saltRate26)
+	if noisy < 0.15 {
+		noisy = 0.15
+	}
+	if noisy > 48 {
+		noisy = 48
+	}
+	return noisy / 64
+}
+
+// ScanActive reports whether the address answered the ICMP census scan
+// (the ZMap snapshot taken the day before the current epoch's
+// measurement). Activity is correlated across epochs: a host flips state
+// with probability EpochChurn per epoch, keeping population density
+// stable while individual hosts come and go.
+func (w *World) ScanActive(a iputil.Addr) bool {
+	rate := w.rate26(a.Block24(), a.Block26())
+	if rate == 0 {
+		return false
+	}
+	active := rng.Bool(rate, w.seed, uint64(a), saltActive)
+	if w.epoch > 0 && w.cfg.EpochChurn > 0 {
+		if active {
+			if rng.Bool(w.cfg.EpochChurn, w.seed, uint64(a), uint64(w.epoch), saltEpochAct) {
+				active = false
+			}
+		} else if rate < 1 {
+			// Arrivals balance departures so density stays stable.
+			pOn := w.cfg.EpochChurn * rate / (1 - rate)
+			if pOn > 1 {
+				pOn = 1
+			}
+			if rng.Bool(pOn, w.seed, uint64(a), uint64(w.epoch), saltEpochAct) {
+				active = true
+			}
+		}
+	}
+	return active
+}
+
+// persists reports whether a scan-active host still answers at probe time;
+// the paper saw 54.05M of 64.45M probed destinations respond. Hosts in
+// low-activity blocks churn harder.
+func (w *World) persists(a iputil.Addr) bool {
+	p := w.cfg.PersistProb
+	if rec, ok := w.blocks[a.Block24()]; ok && rec.lowActivity {
+		p = w.cfg.PersistProbLow
+	}
+	return rng.Bool(p, w.seed, w.epochKey(a), saltPersist)
+}
+
+// RespondsNow reports whether the destination answers probes at
+// measurement time: the host must be up and its aggregate's edge must not
+// be suffering an outage.
+func (w *World) RespondsNow(a iputil.Addr) bool {
+	if !w.ScanActive(a) || !w.persists(a) {
+		return false
+	}
+	if w.epoch > 0 {
+		if p, ok := w.popOf(a); ok && w.popDown(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// ScanPing answers an echo request sent at census time (the ZMap snapshot
+// taken the day before the measurement): availability churn between scan
+// and measurement has not yet happened.
+func (w *World) ScanPing(a iputil.Addr) bool {
+	if _, ok := w.popOf(a); !ok {
+		return false
+	}
+	return w.ScanActive(a)
+}
+
+var defaultTTLs = [3]int{64, 128, 255}
+
+// hostDefaultTTL returns the initial TTL the destination's OS writes into
+// echo replies.
+func (w *World) hostDefaultTTL(a iputil.Addr) int {
+	weights := []float64{w.cfg.TTLWeights[0], w.cfg.TTLWeights[1], w.cfg.TTLWeights[2]}
+	return defaultTTLs[rng.WeightedChoice(weights, w.seed, uint64(a), saltTTL)]
+}
+
+// revSkew is the difference between the host's reverse and forward path
+// lengths; non-zero skews exercise the prober's first_ttl halving logic.
+func (w *World) revSkew(a iputil.Addr) int {
+	if !rng.Bool(w.cfg.PReverseSkew, w.seed, uint64(a), saltSkew) {
+		return 0
+	}
+	switch rng.WeightedChoice([]float64{0.4, 0.4, 0.2}, w.seed, uint64(a), saltSkew, 1) {
+	case 0:
+		return -1
+	case 1:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// rttProfile returns the delay model for the pop's host population.
+func (w *World) rttProfile(p *pop) rttmodel.Profile {
+	base := time.Duration(20+rng.Float64(w.seed, hashString(p.as.region.name))*180) * time.Millisecond
+	switch p.kind {
+	case KindCellular:
+		return rttmodel.Cellular(base, 15*time.Millisecond, 900*time.Millisecond)
+	case KindDatacenter:
+		return rttmodel.Wired(base, 2*time.Millisecond)
+	default:
+		return rttmodel.Wired(base, 8*time.Millisecond)
+	}
+}
+
+// --- Probe primitives ---
+
+// Ping sends an ICMP echo request to dst. seq distinguishes probes in a
+// train (the first probe to a cellular host pays the radio-promotion
+// delay). ok is false when the destination does not answer.
+func (w *World) Ping(dst iputil.Addr, seq int) (ProbeReply, bool) {
+	p, routed := w.popOf(dst)
+	if !routed || !w.RespondsNow(dst) {
+		return ProbeReply{}, false
+	}
+	if rng.Bool(w.cfg.PPingLoss, w.seed, uint64(dst), uint64(seq), saltLoss) {
+		return ProbeReply{}, false
+	}
+	dist, _ := w.forwardDist(0, dst)
+	rev := dist + w.revSkew(dst)
+	if rev < 1 {
+		rev = 1
+	}
+	respTTL := w.hostDefaultTTL(dst) - rev
+	if respTTL < 1 {
+		respTTL = 1
+	}
+	return ProbeReply{
+		Kind:    EchoReply,
+		RespTTL: respTTL,
+		RTT:     w.rttProfile(p).RTT(w.seed, dst, seq),
+	}, true
+}
+
+// PingRTT implements rttmodel.Pinger for the cellular detector.
+func (w *World) PingRTT(dst iputil.Addr, seq int) (time.Duration, bool) {
+	r, ok := w.Ping(dst, seq)
+	if !ok {
+		return 0, false
+	}
+	return r.RTT, true
+}
+
+// Probe sends a TTL-limited probe toward dst. flowID selects the per-flow
+// load-balanced path (the header fields Paris traceroute controls); salt
+// distinguishes retransmissions so that rate-limiting drops are not
+// deterministic across retries.
+func (w *World) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) ProbeReply {
+	if ttl < 1 {
+		return ProbeReply{}
+	}
+	var hops [maxHops]routerID
+	n, routed := w.route(0, dst, flowID, &hops)
+	if ttl <= n {
+		r := w.routers[hops[ttl-1]]
+		if !r.responsive {
+			return ProbeReply{}
+		}
+		if rng.Bool(w.cfg.PRateLimit, w.seed, uint64(dst), uint64(ttl), uint64(flowID), uint64(salt), saltRate) {
+			return ProbeReply{}
+		}
+		return ProbeReply{Kind: TTLExceeded, From: r.addr}
+	}
+	if !routed {
+		// Beyond the vantage point's access routers there is no route
+		// toward an unallocated destination.
+		return ProbeReply{}
+	}
+	if !w.RespondsNow(dst) {
+		return ProbeReply{}
+	}
+	if rng.Bool(w.cfg.PPingLoss, w.seed, uint64(dst), uint64(ttl), uint64(salt), saltLoss) {
+		return ProbeReply{}
+	}
+	dist := n + 1
+	rev := dist + w.revSkew(dst)
+	if rev < 1 {
+		rev = 1
+	}
+	respTTL := w.hostDefaultTTL(dst) - rev
+	if respTTL < 1 {
+		respTTL = 1
+	}
+	p, _ := w.popOf(dst)
+	return ProbeReply{Kind: EchoReply, RespTTL: respTTL, RTT: w.rttProfile(p).RTT(w.seed, dst, int(salt))}
+}

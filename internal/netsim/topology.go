@@ -1,0 +1,250 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/metadata"
+	"github.com/hobbitscan/hobbit/internal/rng"
+)
+
+// Router interfaces are allocated from 100.64.0.0/10 (the shared address
+// space), which is disjoint from the destination universe.
+const routerSpaceBase = iputil.Addr(100<<24 | 64<<16)
+
+// topologyRegions are the backbone regions; ASes attach to one by country.
+var topologyRegions = []string{
+	"us-east", "us-west", "eu-west", "eu-north", "eu-east",
+	"ap-ne", "ap-se", "kr", "sa-east",
+}
+
+// regionOfCountry maps AS countries onto backbone regions.
+func regionOfCountry(country string) string {
+	switch country {
+	case "US":
+		return "us-east"
+	case "Korea":
+		return "kr"
+	case "Japan":
+		return "ap-ne"
+	case "Singapore", "Malaysia":
+		return "ap-se"
+	case "Sweden":
+		return "eu-north"
+	case "France", "Denmark", "Ireland":
+		return "eu-west"
+	case "Georgia":
+		return "eu-east"
+	default:
+		return "us-west"
+	}
+}
+
+func (w *World) newRouter(regionName string, responsive bool) routerID {
+	id := routerID(len(w.routers))
+	w.routers = append(w.routers, router{
+		addr:       routerSpaceBase + iputil.Addr(len(w.routers)),
+		responsive: responsive,
+		region:     regionName,
+	})
+	return id
+}
+
+func (w *World) buildTopologyCore(genRand *rand.Rand) {
+	// Each vantage point's access routers (always responsive: they are
+	// one hop from the prober).
+	for v := 0; v < w.cfg.Vantages; v++ {
+		w.srcHops = append(w.srcHops, [2]routerID{
+			w.newRouter("src", true),
+			w.newRouter("src", true),
+		})
+	}
+
+	for _, name := range topologyRegions {
+		r := &region{name: name}
+		r.coreIn = w.newRouter(name, w.routerResponsive(genRand))
+		for i := 0; i < w.cfg.PerFlowFanout; i++ {
+			r.coreMid = append(r.coreMid, w.newRouter(name, w.routerResponsive(genRand)))
+		}
+		r.coreOut = w.newRouter(name, w.routerResponsive(genRand))
+		w.regions = append(w.regions, r)
+	}
+}
+
+func (w *World) routerResponsive(genRand *rand.Rand) bool {
+	return genRand.Float64() >= w.cfg.PRouterUnresponsive
+}
+
+func (w *World) regionByName(name string) *region {
+	for _, r := range w.regions {
+		if r.name == name {
+			return r
+		}
+	}
+	return w.regions[0]
+}
+
+func (w *World) newAS(asn int, org, country string, otype metadata.OrgType, genRand *rand.Rand) *asRec {
+	reg := w.regionByName(regionOfCountry(country))
+	a := &asRec{
+		asn:     asn,
+		org:     org,
+		country: country,
+		otype:   otype,
+		region:  reg,
+		ingress: w.newRouter(reg.name, w.routerResponsive(genRand)),
+	}
+	// Vary path length per AS with a short intra-AS chain.
+	for i, n := 0, genRand.Intn(3); i < n; i++ {
+		a.chain = append(a.chain, w.newRouter(reg.name, w.routerResponsive(genRand)))
+	}
+	w.ases = append(w.ases, a)
+	return a
+}
+
+// newPop creates a point of presence under the given AS with k last-hop
+// routers. unrespLast makes all its last-hop routers unresponsive.
+func (w *World) newPop(as *asRec, k int, unrespLast bool, genRand *rand.Rand) *pop {
+	p := &pop{
+		id:  int32(len(w.pops)),
+		as:  as,
+		big: -1,
+	}
+	// Some single-last-hop edges have no per-destination branching at
+	// all: every address shares every route, so even the straw-man
+	// whole-route comparison sees them as homogeneous.
+	df1, df2 := w.cfg.PerDestFanout, w.cfg.PerDestFanout2
+	if k == 1 && genRand.Float64() < w.cfg.PNoPerDestLB {
+		df1, df2 = 1, 1
+	}
+	for i := 0; i < df1; i++ {
+		p.destMid = append(p.destMid, w.newRouter(as.region.name, w.routerResponsive(genRand)))
+	}
+	for i := 0; i < df2; i++ {
+		p.destMid2 = append(p.destMid2, w.newRouter(as.region.name, w.routerResponsive(genRand)))
+	}
+	for i := 0; i < k; i++ {
+		responsive := !unrespLast
+		p.lastHops = append(p.lastHops, w.newRouter(as.region.name, responsive))
+	}
+	p.unresp = unrespLast
+	// Flow-divergent last hops only occur at k >= 3: with two last hops
+	// a per-flow split makes both groups span the whole block and the
+	// range test degenerates to inclusion.
+	p.flowDiv = k >= 3 && genRand.Float64() < w.cfg.PFlowDivergentLast
+	// Some per-destination load balancers hash the source address too,
+	// so probing from another vantage reveals different branches
+	// (Section 6.1).
+	p.srcSens = genRand.Float64() < w.cfg.PSrcSensitiveLB
+	w.pops = append(w.pops, p)
+	return p
+}
+
+// Hash-key salts for probe-time decisions.
+const (
+	saltFlow    = 0x11
+	saltDest    = 0x22
+	saltLast    = 0x33
+	saltRate    = 0x44
+	saltActive  = 0x55
+	saltPersist = 0x66
+	saltTTL     = 0x77
+	saltSkew    = 0x88
+	saltLoss    = 0x99
+	saltRate26  = 0xaa
+	saltTWCVar  = 0xbb
+)
+
+// maxHops bounds the forward path length (src hops + core + AS + pop).
+const maxHops = 12
+
+// route materializes the hop sequence from vantage v toward dst for the
+// given flow identifier, into hops. It returns the number of hops
+// written; the destination itself sits one hop past the last entry. ok is
+// false when dst is not a routed destination, in which case the returned
+// hops are the partial path that probes would still traverse (the source
+// access routers).
+func (w *World) route(v int, dst iputil.Addr, flowID uint16, hops *[maxHops]routerID) (n int, ok bool) {
+	if v < 0 || v >= len(w.srcHops) {
+		v = 0
+	}
+	hops[0] = w.srcHops[v][0]
+	hops[1] = w.srcHops[v][1]
+	n = 2
+	p, found := w.popOf(dst)
+	if !found {
+		return n, false
+	}
+	// srcKey folds the vantage into hashes of source-sensitive load
+	// balancers only.
+	var srcKey uint64
+	if p.srcSens {
+		srcKey = uint64(v)
+	}
+	reg := p.as.region
+	hops[n] = reg.coreIn
+	n++
+	// Per-flow ECMP: the hash covers (src, dst, flowID), as a router
+	// hashing the five-tuple would.
+	mid := rng.Intn(len(reg.coreMid), w.seed, uint64(dst), uint64(flowID), uint64(v), saltFlow)
+	hops[n] = reg.coreMid[mid]
+	n++
+	hops[n] = reg.coreOut
+	n++
+	hops[n] = p.as.ingress
+	n++
+	for _, c := range p.as.chain {
+		hops[n] = c
+		n++
+	}
+	// Per-destination ECMP, two cascaded stages: both hash the
+	// destination only (plus the source for source-sensitive balancers),
+	// so every probe toward dst takes the same branch while adjacent
+	// addresses diverge (the Section 2.2 effect) and whole-path
+	// diversity multiplies across the cascade.
+	dm := rng.Intn(len(p.destMid), w.seed, uint64(dst), uint64(p.id), srcKey, saltDest)
+	hops[n] = p.destMid[dm]
+	n++
+	dm2 := rng.Intn(len(p.destMid2), w.seed, uint64(dst), uint64(p.id), srcKey, saltDest, 2)
+	hops[n] = p.destMid2[dm2]
+	n++
+	// Flow-divergent load balancers fold flow fields into the last-hop
+	// hash too, so paths toward one destination need not converge
+	// (Section 2.3).
+	var lh int
+	if p.flowDiv {
+		bucket := rng.Intn(2, w.seed, uint64(dst), uint64(flowID), saltFlow, 7)
+		lh = rng.Intn(len(p.lastHops), w.seed, uint64(dst), uint64(p.id), srcKey, saltLast, uint64(bucket))
+	} else {
+		lh = rng.Intn(len(p.lastHops), w.seed, uint64(dst), uint64(p.id), srcKey, saltLast)
+	}
+	hops[n] = p.lastHops[lh]
+	n++
+	return n, true
+}
+
+// forwardDist returns the forward hop distance from a vantage point to
+// dst (the TTL needed for a probe to reach the destination itself).
+func (w *World) forwardDist(v int, dst iputil.Addr) (int, bool) {
+	var hops [maxHops]routerID
+	n, ok := w.route(v, dst, 0, &hops)
+	if !ok {
+		return 0, false
+	}
+	return n + 1, true
+}
+
+// TrueLastHops returns the ground-truth last-hop router addresses of the
+// pop serving dst; ok is false for unrouted addresses.
+func (w *World) TrueLastHops(dst iputil.Addr) ([]iputil.Addr, bool) {
+	p, found := w.popOf(dst)
+	if !found {
+		return nil, false
+	}
+	out := make([]iputil.Addr, len(p.lastHops))
+	for i, id := range p.lastHops {
+		out[i] = w.routerAddr(id)
+	}
+	iputil.SortAddrs(out)
+	return out, true
+}

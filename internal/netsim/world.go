@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/metadata"
+)
+
+// World is a generated synthetic Internet. It is immutable after Build and
+// safe for concurrent probing.
+type World struct {
+	cfg  Config
+	seed uint64
+
+	routers []router
+	regions []*region
+	ases    []*asRec
+	pops    []*pop
+
+	blocks    map[iputil.Block24]*blockRec
+	blockList []iputil.Block24 // sorted universe
+
+	// srcHops holds the access-router pair of each vantage point.
+	srcHops [][2]routerID
+
+	geo   *metadata.GeoDB
+	whois *metadata.Whois
+
+	// heteroBlocks lists the planted heterogeneous /24s (ground truth).
+	heteroBlocks []iputil.Block24
+
+	// epoch is the current measurement epoch (see epoch.go); the cache
+	// holds per-(pop, epoch) responsive-address lists for the
+	// subscriber model.
+	epoch          int
+	epochMu        sync.Mutex
+	popActiveCache map[popEpochKey][]iputil.Addr
+}
+
+type routerID int32
+
+type router struct {
+	addr       iputil.Addr
+	responsive bool
+	region     string
+}
+
+type region struct {
+	name    string
+	coreIn  routerID
+	coreMid []routerID
+	coreOut routerID
+}
+
+type asRec struct {
+	asn     int
+	org     string
+	country string
+	otype   metadata.OrgType
+	region  *region
+	ingress routerID
+	chain   []routerID
+}
+
+// pop is one point of presence: the unit of true topological homogeneity.
+// All addresses routed to a pop share its set of last-hop routers.
+type pop struct {
+	id        int32
+	as        *asRec
+	lastHops  []routerID
+	destMid   []routerID
+	destMid2  []routerID
+	flowDiv   bool // per-flow hashing reaches the last-hop choice
+	srcSens   bool // per-destination hashing includes the source address
+	kind      BlockKind
+	big       int // index into cfg.BigBlocks, or -1
+	starved   bool
+	unresp    bool // last-hop routers never answer
+	rdnsKind  metadata.NameKind
+	rdnsReg   string
+	rdnsVar   int
+	size      int // /24 count (0 for hetero sub-pops)
+	heteroSub bool
+}
+
+// entry maps a sub-prefix of a /24 to its pop: one entry for homogeneous
+// blocks, several for heterogeneous blocks.
+type entry struct {
+	prefix iputil.Prefix
+	pop    int32
+}
+
+type blockRec struct {
+	entries     []entry
+	asn         int
+	lowActivity bool
+	starved     bool
+	hetero      bool
+	twcVariant2 bool // block hosts a second Time Warner naming scheme
+	// splitEpoch > 0 schedules an address-exhaustion-driven split: from
+	// that epoch on, futureEntries (sub-allocations) replace entries.
+	splitEpoch    int
+	futureEntries []entry
+}
+
+// New builds a world from the configuration. Building is deterministic in
+// Config (including Seed).
+func New(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &World{
+		cfg:    cfg,
+		seed:   cfg.Seed,
+		blocks: make(map[iputil.Block24]*blockRec, cfg.NumBlocks),
+		geo:    metadata.NewGeoDB(),
+		whois:  metadata.NewWhois(),
+	}
+	genRand := rand.New(rand.NewSource(int64(cfg.Seed)))
+	w.buildTopologyCore(genRand)
+	if err := w.buildPopulations(genRand); err != nil {
+		return nil, err
+	}
+	w.populateMetadata()
+	sort.Slice(w.blockList, func(i, j int) bool { return w.blockList[i] < w.blockList[j] })
+	return w, nil
+}
+
+// MustNew builds a world and panics on configuration errors; intended for
+// tests and examples.
+func MustNew(cfg Config) *World {
+	w, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Config returns the configuration the world was built from.
+func (w *World) Config() Config { return w.cfg }
+
+// Blocks returns the sorted universe of /24 blocks.
+func (w *World) Blocks() []iputil.Block24 { return w.blockList }
+
+// NumRouters returns the number of router interfaces in the topology.
+func (w *World) NumRouters() int { return len(w.routers) }
+
+// Geo returns the GeoLite-style metadata database for the world.
+func (w *World) Geo() *metadata.GeoDB { return w.geo }
+
+// Whois returns the WHOIS registry for the world.
+func (w *World) Whois() *metadata.Whois { return w.whois }
+
+func (w *World) popOf(a iputil.Addr) (*pop, bool) {
+	rec, ok := w.blocks[a.Block24()]
+	if !ok {
+		return nil, false
+	}
+	entries := w.activeEntries(rec)
+	for i := range entries {
+		if entries[i].prefix.Contains(a) {
+			return w.pops[entries[i].pop], true
+		}
+	}
+	return nil, false
+}
+
+func (w *World) routerAddr(id routerID) iputil.Addr { return w.routers[id].addr }
+
+func (w *World) checkInvariants() error {
+	check := func(b iputil.Block24, entries []entry) error {
+		covered := 0
+		for _, e := range entries {
+			if e.prefix.Base.Block24() != b && e.prefix.Len > 8 {
+				return fmt.Errorf("netsim: entry %v outside block %v", e.prefix, b)
+			}
+			covered += e.prefix.Size()
+		}
+		if covered != 256 {
+			return fmt.Errorf("netsim: block %v entries cover %d addresses", b, covered)
+		}
+		return nil
+	}
+	for b, rec := range w.blocks {
+		if err := check(b, rec.entries); err != nil {
+			return err
+		}
+		if rec.splitEpoch > 0 {
+			if err := check(b, rec.futureEntries); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

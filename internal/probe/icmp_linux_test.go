@@ -1,0 +1,72 @@
+//go:build linux
+
+package probe
+
+import (
+	"testing"
+)
+
+// TestNewICMPNetwork exercises socket setup without probing anyone: with
+// CAP_NET_RAW the socket opens and TTL manipulation works; without it the
+// constructor fails cleanly.
+func TestNewICMPNetwork(t *testing.T) {
+	n, err := NewICMPNetwork()
+	if err != nil {
+		t.Skipf("raw sockets unavailable (no CAP_NET_RAW): %v", err)
+	}
+	defer n.Close()
+	if n.rawFD < 0 {
+		t.Error("raw fd not captured")
+	}
+	for _, ttl := range []int{1, 64, 255} {
+		if err := n.setTTL(ttl); err != nil {
+			t.Errorf("setTTL(%d): %v", ttl, err)
+		}
+	}
+}
+
+func TestEchoRequestWellFormed(t *testing.T) {
+	msg := echoRequest(0xbeef, 42)
+	if len(msg) != 16 {
+		t.Fatalf("message length = %d", len(msg))
+	}
+	if msg[0] != 8 || msg[1] != 0 {
+		t.Error("not an echo request")
+	}
+	if icmpChecksum(msg) != 0 {
+		t.Error("checksum does not verify")
+	}
+}
+
+func TestParseReplyTimeExceeded(t *testing.T) {
+	// A time-exceeded message quoting the original echo request.
+	orig := echoRequest(0x1234, 9)
+	inner := append([]byte{
+		0x45, 0, 0, 28, 0, 0, 0, 0, 1, 1, 0, 0, // quoted IPv4 header
+		10, 0, 0, 1, 192, 0, 2, 1,
+	}, orig[:8]...)
+	te := append([]byte{11, 0, 0, 0, 0, 0, 0, 0}, inner...)
+	outer := append([]byte{
+		0x45, 0, 0, 60, 0, 0, 0, 0, 61, 1, 0, 0, // outer IPv4 header, TTL 61
+		203, 0, 113, 1, 10, 0, 0, 1,
+	}, te...)
+	kind, ipTTL, ident, seq, _, ok := parseReply(outer)
+	if !ok || kind != TTLExceeded {
+		t.Fatalf("parse = kind %v ok %v", kind, ok)
+	}
+	if ipTTL != 61 {
+		t.Errorf("outer TTL = %d", ipTTL)
+	}
+	if ident != 0x1234 || seq != 9 {
+		t.Errorf("quoted probe = %x/%d", ident, seq)
+	}
+	// A truncated time-exceeded still classifies without the quote.
+	kind, _, ident, _, _, ok = parseReply(append([]byte{11, 0, 0, 0, 0, 0, 0, 0}, 0x45))
+	if !ok || kind != TTLExceeded || ident != 0 {
+		t.Errorf("truncated TE = kind %v ident %x ok %v", kind, ident, ok)
+	}
+	// Unknown ICMP types do not parse.
+	if _, _, _, _, _, ok := parseReply([]byte{13, 0, 0, 0, 0, 0, 0, 0}); ok {
+		t.Error("timestamp request should not parse")
+	}
+}

@@ -1,0 +1,83 @@
+package probe
+
+import (
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/trace"
+)
+
+// LastHopResult is the outcome of discovering a destination's last-hop
+// router(s), Section 3.4's procedure.
+type LastHopResult struct {
+	// Responded reports whether the destination answered echo probes at
+	// all; when false nothing else is meaningful.
+	Responded bool
+	// LastHops are the distinct responsive last-hop router interfaces
+	// observed across the enumerated per-flow paths.
+	LastHops []iputil.Addr
+	// Unresponsive reports that at least one path ended at a router
+	// that never answered (the "Unresponsive last-hop" category when no
+	// LastHops were found at all).
+	Unresponsive bool
+	// DestTTL is the hop distance at which the destination answered.
+	DestTTL int
+	// Paths holds the enumerated path suffixes for diagnostics.
+	Paths *trace.PathSet
+}
+
+// pingAttempts is how many echo probes to try before declaring a
+// destination unresponsive.
+const pingAttempts = 3
+
+// FindLastHops identifies the last-hop router(s) of dst efficiently: it
+// infers a starting TTL from the destination's echo-reply TTL, runs
+// Paris-traceroute MDA from there, and halves the starting TTL whenever
+// the destination answers immediately (an overestimate), per Section 3.4.
+func FindLastHops(net Network, dst iputil.Addr, opts MDAOptions) LastHopResult {
+	opts = opts.withDefaults()
+
+	var ping PingResult
+	ok := false
+	for seq := 0; seq < pingAttempts && !ok; seq++ {
+		ping, ok = net.Ping(dst, seq)
+	}
+	if !ok {
+		return LastHopResult{}
+	}
+
+	firstTTL := HopEstimate(ping.RespTTL) - 1
+	if firstTTL < 1 {
+		firstTTL = 1
+	}
+	if firstTTL > opts.MaxTTL {
+		firstTTL = opts.MaxTTL
+	}
+
+	for {
+		opts.FirstTTL = firstTTL
+		res := MDA(net, dst, opts)
+		switch {
+		case res.ImmediateEcho() && firstTTL > 1:
+			// Overestimate: the destination answered before any
+			// router hop was seen. Halve and retry.
+			firstTTL /= 2
+			continue
+		case !res.DestReached && firstTTL > 1:
+			// The walk from firstTTL never reached the
+			// destination; distrust the inference entirely and
+			// retrace from the source.
+			firstTTL = 1
+			continue
+		case !res.DestReached:
+			// A full trace could not reach the destination: it
+			// stopped answering mid-measurement.
+			return LastHopResult{}
+		}
+		out := LastHopResult{
+			Responded: true,
+			DestTTL:   res.DestTTL,
+			Paths:     res.Paths,
+		}
+		out.LastHops, out.Unresponsive = res.Paths.LastHops()
+		return out
+	}
+}

@@ -1,0 +1,109 @@
+package probe
+
+import (
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// scriptedNet is a hand-built Network for exercising the first_ttl
+// inference and halving logic in isolation: one destination at a fixed
+// distance behind a known last hop, with a configurable echo-reply TTL.
+type scriptedNet struct {
+	dist     int // TTL at which the destination answers
+	respTTL  int // TTL field of the echo reply
+	lastHop  iputil.Addr
+	midBase  iputil.Addr
+	probeLog []int // TTLs probed, in order
+}
+
+func (s *scriptedNet) Ping(dst iputil.Addr, seq int) (PingResult, bool) {
+	return PingResult{RespTTL: s.respTTL}, true
+}
+
+func (s *scriptedNet) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) Result {
+	s.probeLog = append(s.probeLog, ttl)
+	switch {
+	case ttl >= s.dist:
+		return Result{Kind: EchoReply}
+	case ttl == s.dist-1:
+		return Result{Kind: TTLExceeded, From: s.lastHop}
+	default:
+		return Result{Kind: TTLExceeded, From: s.midBase + iputil.Addr(ttl)}
+	}
+}
+
+func TestFindLastHopsExactEstimate(t *testing.T) {
+	// defaultTTL 64, reverse distance = forward distance = 10:
+	// respTTL 54 -> estimate 10 -> first_ttl 9 = the last-hop position.
+	n := &scriptedNet{dist: 10, respTTL: 54, lastHop: 0x64000001, midBase: 0x63000000}
+	res := FindLastHops(n, 1, MDAOptions{})
+	if !res.Responded || len(res.LastHops) != 1 || res.LastHops[0] != n.lastHop {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.DestTTL != 10 {
+		t.Errorf("DestTTL = %d", res.DestTTL)
+	}
+	// Efficiency: no probe below the inferred starting TTL.
+	for _, ttl := range n.probeLog {
+		if ttl < 9 {
+			t.Fatalf("probed ttl %d below first_ttl 9", ttl)
+		}
+	}
+}
+
+func TestFindLastHopsOverestimateHalves(t *testing.T) {
+	// Reverse path is 4 hops longer than the forward path: respTTL 50
+	// -> estimate 14 -> first_ttl 13 >= dist 10 -> immediate echo ->
+	// halve to 6 and walk forward.
+	n := &scriptedNet{dist: 10, respTTL: 50, lastHop: 0x64000001, midBase: 0x63000000}
+	res := FindLastHops(n, 1, MDAOptions{})
+	if !res.Responded || len(res.LastHops) != 1 || res.LastHops[0] != n.lastHop {
+		t.Fatalf("result = %+v", res)
+	}
+	// The halving must actually have happened: some probe at TTL <= 7.
+	halved := false
+	for _, ttl := range n.probeLog {
+		if ttl <= 7 {
+			halved = true
+		}
+	}
+	if !halved {
+		t.Errorf("no halved probe observed: %v", n.probeLog)
+	}
+}
+
+func TestFindLastHopsUnderestimateWalks(t *testing.T) {
+	// Reverse path shorter: estimate 7 -> first_ttl 6 -> MDA walks
+	// through intermediate routers to the last hop ("find some more
+	// routers than the last hop").
+	n := &scriptedNet{dist: 10, respTTL: 57, lastHop: 0x64000001, midBase: 0x63000000}
+	res := FindLastHops(n, 1, MDAOptions{})
+	if !res.Responded {
+		t.Fatal("did not respond")
+	}
+	// The paths include the intermediate routers, but the last hop is
+	// still the true one.
+	if len(res.LastHops) != 1 || res.LastHops[0] != n.lastHop {
+		t.Fatalf("last hops = %v", res.LastHops)
+	}
+	if res.Paths.Len() == 0 || len(res.Paths.Paths()[0]) < 3 {
+		t.Errorf("expected a multi-hop suffix, got %v", res.Paths.Paths())
+	}
+}
+
+// deadAfterPing answers pings but never answers probes (a destination that
+// died mid-measurement).
+type deadAfterPing struct{}
+
+func (deadAfterPing) Ping(iputil.Addr, int) (PingResult, bool) { return PingResult{RespTTL: 54}, true }
+func (deadAfterPing) Probe(iputil.Addr, int, uint16, uint32) Result {
+	return Result{}
+}
+
+func TestFindLastHopsDiesMidMeasurement(t *testing.T) {
+	res := FindLastHops(deadAfterPing{}, 1, MDAOptions{MaxTTL: 12})
+	if res.Responded {
+		t.Errorf("dest that never echoes should not count as responded: %+v", res)
+	}
+}

@@ -1,0 +1,153 @@
+package probe
+
+import (
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/trace"
+)
+
+// MDAOptions configures a multipath-detection run.
+type MDAOptions struct {
+	// FirstTTL is the TTL of the first probed hop (1 = full traceroute).
+	FirstTTL int
+	// MaxTTL bounds the probed path length.
+	MaxTTL int
+	// Confidence is the per-hop enumeration confidence (default 0.95).
+	Confidence float64
+	// MaxFlows caps the number of distinct flow identifiers used per
+	// hop, bounding the probing cost at wide load-balancers.
+	MaxFlows int
+	// Retries is how many extra probes to send when one goes
+	// unanswered, before recording an unresponsive hop. Zero uses the
+	// default (2); pass a negative value for single-shot probing.
+	Retries int
+}
+
+// withDefaults fills zero fields with the paper's operating parameters.
+func (o MDAOptions) withDefaults() MDAOptions {
+	if o.FirstTTL <= 0 {
+		o.FirstTTL = 1
+	}
+	if o.MaxTTL <= 0 {
+		o.MaxTTL = 32
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
+	}
+	if o.MaxFlows <= 0 {
+		o.MaxFlows = 64
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	return o
+}
+
+// MDAResult is the outcome of one Paris-traceroute MDA run toward a
+// destination.
+type MDAResult struct {
+	// FirstTTL echoes the starting TTL of the run; paths cover hops
+	// [FirstTTL, DestTTL-1].
+	FirstTTL int
+	// DestReached reports whether any probe elicited an echo reply.
+	DestReached bool
+	// DestTTL is the TTL at which the destination answered.
+	DestTTL int
+	// Paths enumerates the distinct per-flow load-balanced paths
+	// discovered (hop sequences from FirstTTL up to the last-hop
+	// router).
+	Paths *trace.PathSet
+}
+
+// ImmediateEcho reports whether the destination answered at the starting
+// TTL itself, i.e. the run saw no router hop at all — the signature of an
+// overestimated first_ttl.
+func (r MDAResult) ImmediateEcho() bool {
+	return r.DestReached && r.DestTTL == r.FirstTTL
+}
+
+// MDA runs the multipath detection algorithm toward dst: at each hop it
+// varies the flow identifier and sends probes until the stopping rule for
+// the number of interfaces seen is satisfied, then advances, building the
+// set of per-flow paths. Per-destination load-balanced paths cannot be
+// enumerated this way — they are what Hobbit infers across destinations.
+func MDA(net Network, dst iputil.Addr, opts MDAOptions) MDAResult {
+	opts = opts.withDefaults()
+	res := MDAResult{FirstTTL: opts.FirstTTL}
+
+	// hops[i][f] is the interface flow f observed at TTL FirstTTL+i.
+	var hopRows [][]trace.Hop
+	var salt uint32
+	probeOnce := func(ttl int, flow uint16) Result {
+		for attempt := 0; ; attempt++ {
+			salt++
+			r := net.Probe(dst, ttl, flow, salt)
+			if r.Kind != NoReply || attempt >= opts.Retries {
+				return r
+			}
+		}
+	}
+
+	maxFlowsUsed := 0
+	for ttl := opts.FirstTTL; ttl <= opts.MaxTTL; ttl++ {
+		row := make([]trace.Hop, 0, 8)
+		distinct := make(map[iputil.Addr]struct{})
+		echo := false
+		for probed := 0; ; probed++ {
+			need := StoppingPoint(len(distinct), opts.Confidence)
+			if probed >= need || probed >= opts.MaxFlows {
+				break
+			}
+			r := probeOnce(ttl, uint16(probed))
+			switch r.Kind {
+			case EchoReply:
+				echo = true
+			case TTLExceeded:
+				row = append(row, trace.R(r.From))
+				distinct[r.From] = struct{}{}
+			default:
+				row = append(row, trace.Star)
+			}
+			if echo {
+				break
+			}
+		}
+		if echo {
+			res.DestReached = true
+			res.DestTTL = ttl
+			break
+		}
+		if len(row) > maxFlowsUsed {
+			maxFlowsUsed = len(row)
+		}
+		hopRows = append(hopRows, row)
+	}
+
+	// Assemble per-flow paths over the hops before the destination. A
+	// flow that was not probed at some hop (the stopping rule was met
+	// with fewer probes there) is filled in so every enumerated path is
+	// complete.
+	res.Paths = trace.NewPathSet()
+	if len(hopRows) == 0 {
+		return res
+	}
+	for f := 0; f < maxFlowsUsed; f++ {
+		p := make(trace.Path, len(hopRows))
+		for i, row := range hopRows {
+			if f < len(row) {
+				p[i] = row[f]
+				continue
+			}
+			r := probeOnce(opts.FirstTTL+i, uint16(f))
+			switch r.Kind {
+			case TTLExceeded:
+				p[i] = trace.R(r.From)
+			default:
+				p[i] = trace.Star
+			}
+		}
+		res.Paths.Add(p)
+	}
+	return res
+}

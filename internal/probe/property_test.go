@@ -1,0 +1,44 @@
+package probe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInferDefaultTTLProperties(t *testing.T) {
+	f := func(raw uint8) bool {
+		resp := int(raw)
+		def := InferDefaultTTL(resp)
+		switch def {
+		case 64, 128, 192, 255:
+		default:
+			return false
+		}
+		// The inferred default is always at or above the response, so
+		// hop estimates are non-negative.
+		if HopEstimate(resp) < 0 {
+			return false
+		}
+		// Hop estimates stay within a plausible bucket width.
+		return HopEstimate(resp) <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoppingPointMonotone(t *testing.T) {
+	// More interfaces seen -> more probes required; higher confidence
+	// -> more probes required.
+	prev := 0
+	for k := 1; k <= 32; k++ {
+		n := StoppingPoint(k, 0.95)
+		if n <= prev {
+			t.Fatalf("StoppingPoint not strictly increasing at k=%d: %d <= %d", k, n, prev)
+		}
+		prev = n
+		if StoppingPoint(k, 0.99) < n {
+			t.Fatalf("higher confidence needs no fewer probes at k=%d", k)
+		}
+	}
+}

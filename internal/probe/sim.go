@@ -1,0 +1,64 @@
+package probe
+
+import (
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/netsim"
+)
+
+// SimNetwork adapts a netsim.World to the Network interface.
+type SimNetwork struct {
+	World *netsim.World
+}
+
+// NewSimNetwork wraps a simulated world as a probing surface.
+func NewSimNetwork(w *netsim.World) *SimNetwork { return &SimNetwork{World: w} }
+
+// Ping implements Network.
+func (s *SimNetwork) Ping(dst iputil.Addr, seq int) (PingResult, bool) {
+	r, ok := s.World.Ping(dst, seq)
+	if !ok {
+		return PingResult{}, false
+	}
+	return PingResult{RespTTL: r.RespTTL, RTT: r.RTT}, true
+}
+
+// Probe implements Network.
+func (s *SimNetwork) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) Result {
+	return convertReply(s.World.Probe(dst, ttl, flowID, salt))
+}
+
+func convertReply(r netsim.ProbeReply) Result {
+	switch r.Kind {
+	case netsim.TTLExceeded:
+		return Result{Kind: TTLExceeded, From: r.From, RTT: r.RTT}
+	case netsim.EchoReply:
+		return Result{Kind: EchoReply, RTT: r.RTT}
+	default:
+		return Result{}
+	}
+}
+
+// VantageNetwork adapts one vantage point of a simulated world to the
+// Network interface, for multi-vantage measurement (Section 6.1).
+type VantageNetwork struct {
+	Vantage *netsim.Vantage
+}
+
+// NewVantageNetwork wraps a vantage as a probing surface.
+func NewVantageNetwork(v *netsim.Vantage) *VantageNetwork {
+	return &VantageNetwork{Vantage: v}
+}
+
+// Ping implements Network.
+func (s *VantageNetwork) Ping(dst iputil.Addr, seq int) (PingResult, bool) {
+	r, ok := s.Vantage.Ping(dst, seq)
+	if !ok {
+		return PingResult{}, false
+	}
+	return PingResult{RespTTL: r.RespTTL, RTT: r.RTT}, true
+}
+
+// Probe implements Network.
+func (s *VantageNetwork) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) Result {
+	return convertReply(s.Vantage.Probe(dst, ttl, flowID, salt))
+}

@@ -1,0 +1,88 @@
+// Package rng provides deterministic, order-independent randomness for the
+// simulator. Unlike a sequential PRNG, every draw is a pure function of a
+// seed and a tuple of keys, so the simulated Internet answers a probe the
+// same way regardless of when or in what order probes are sent — the same
+// property the real network has (routers hash header fields; they do not
+// keep per-prober state).
+package rng
+
+import "math"
+
+// Mix combines a seed with a sequence of keys into a well-distributed
+// 64-bit value using splitmix64 finalization steps.
+func Mix(seed uint64, keys ...uint64) uint64 {
+	z := seed
+	for _, k := range keys {
+		z ^= k + 0x9e3779b97f4a7c15
+		z = splitmix(z)
+	}
+	return splitmix(z)
+}
+
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 maps a mixed value to [0, 1).
+func Float64(seed uint64, keys ...uint64) float64 {
+	return float64(Mix(seed, keys...)>>11) / (1 << 53)
+}
+
+// Intn maps a mixed value to [0, n). It panics if n <= 0.
+func Intn(n int, seed uint64, keys ...uint64) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(Mix(seed, keys...) % uint64(n))
+}
+
+// Bool returns true with probability p.
+func Bool(p float64, seed uint64, keys ...uint64) bool {
+	return Float64(seed, keys...) < p
+}
+
+// Norm returns a draw from a normal distribution with the given mean and
+// standard deviation, via the Box-Muller transform over two derived
+// uniforms.
+func Norm(mean, stddev float64, seed uint64, keys ...uint64) float64 {
+	base := Mix(seed, keys...)
+	u1 := float64(splitmix(base)>>11) / (1 << 53)
+	u2 := float64(splitmix(base+1)>>11) / (1 << 53)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Exp returns a draw from an exponential distribution with the given mean.
+func Exp(mean float64, seed uint64, keys ...uint64) float64 {
+	u := Float64(seed, keys...)
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// WeightedChoice picks an index into weights proportionally to the weight
+// values. It panics if weights is empty or sums to zero or less.
+func WeightedChoice(weights []float64, seed uint64, keys ...uint64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("rng: WeightedChoice with empty or zero weights")
+	}
+	target := Float64(seed, keys...) * total
+	for i, w := range weights {
+		target -= w
+		if target < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

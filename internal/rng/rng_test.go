@@ -1,0 +1,124 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMixDeterministic(t *testing.T) {
+	a := Mix(1, 2, 3)
+	b := Mix(1, 2, 3)
+	if a != b {
+		t.Fatal("Mix is not deterministic")
+	}
+	if Mix(1, 2, 3) == Mix(1, 3, 2) {
+		t.Error("Mix should be order-sensitive")
+	}
+	if Mix(1, 2) == Mix(2, 2) {
+		t.Error("Mix should depend on seed")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		v := Float64(42, i)
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Uniformish(t *testing.T) {
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += Float64(7, uint64(i))
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		counts[Intn(5, 9, uint64(i))]++
+	}
+	for k, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("Intn bucket %d = %d, want ~10000", k, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	Intn(0, 1)
+}
+
+func TestBool(t *testing.T) {
+	hits := 0
+	for i := 0; i < 100000; i++ {
+		if Bool(0.25, 3, uint64(i)) {
+			hits++
+		}
+	}
+	got := float64(hits) / 100000
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) rate = %v", got)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	var sum, sumsq float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		v := Norm(10, 2, 5, uint64(i))
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Norm mean = %v", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Errorf("Norm stddev = %v", math.Sqrt(variance))
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		v := Exp(3, 11, uint64(i))
+		if v < 0 {
+			t.Fatalf("Exp negative: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-3) > 0.1 {
+		t.Errorf("Exp mean = %v, want ~3", mean)
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	weights := []float64{1, 3}
+	counts := make([]int, 2)
+	for i := 0; i < 40000; i++ {
+		counts[WeightedChoice(weights, 13, uint64(i))]++
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("weighted ratio = %v, want ~3", ratio)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty WeightedChoice should panic")
+		}
+	}()
+	WeightedChoice(nil, 1)
+}

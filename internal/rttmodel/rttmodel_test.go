@@ -1,0 +1,147 @@
+package rttmodel
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+const seed = 0xfeed
+
+func TestRTTDeterministic(t *testing.T) {
+	p := Cellular(40*time.Millisecond, 10*time.Millisecond, 900*time.Millisecond)
+	a := iputil.MustParseAddr("10.0.0.1")
+	if p.RTT(seed, a, 0) != p.RTT(seed, a, 0) {
+		t.Fatal("RTT not deterministic")
+	}
+	if p.RTT(seed, a, 1) == p.RTT(seed, a, 2) {
+		t.Error("different seqs should (almost surely) differ")
+	}
+}
+
+func TestCellularFirstProbeInflated(t *testing.T) {
+	p := Cellular(40*time.Millisecond, 10*time.Millisecond, 900*time.Millisecond)
+	inflated := 0
+	n := 200
+	for i := 0; i < n; i++ {
+		a := iputil.Addr(0x0a000000 + uint32(i))
+		first := p.RTT(seed, a, 0)
+		var maxRest time.Duration
+		for seq := 1; seq < 20; seq++ {
+			if r := p.RTT(seed, a, seq); r > maxRest {
+				maxRest = r
+			}
+		}
+		if first-maxRest > 100*time.Millisecond {
+			inflated++
+		}
+	}
+	if inflated < n*3/4 {
+		t.Errorf("only %d/%d cellular hosts showed first-probe inflation", inflated, n)
+	}
+}
+
+func TestWiredStable(t *testing.T) {
+	p := Wired(40*time.Millisecond, 5*time.Millisecond)
+	big := 0
+	n := 200
+	for i := 0; i < n; i++ {
+		a := iputil.Addr(0x0b000000 + uint32(i))
+		first := p.RTT(seed, a, 0)
+		var maxRest time.Duration
+		for seq := 1; seq < 20; seq++ {
+			if r := p.RTT(seed, a, seq); r > maxRest {
+				maxRest = r
+			}
+		}
+		if first-maxRest > 100*time.Millisecond {
+			big++
+		}
+	}
+	if big > n/20 {
+		t.Errorf("%d/%d wired hosts showed first-probe inflation", big, n)
+	}
+}
+
+// fakePinger serves RTTs from a profile, optionally dropping replies.
+type fakePinger struct {
+	profile Profile
+	drop    map[iputil.Addr]int // addr -> seq to drop
+}
+
+func (f *fakePinger) PingRTT(a iputil.Addr, seq int) (time.Duration, bool) {
+	if dseq, ok := f.drop[a]; ok && dseq == seq {
+		return 0, false
+	}
+	return f.profile.RTT(seed, a, seq), true
+}
+
+func mkAddrs(base uint32, n int) []iputil.Addr {
+	addrs := make([]iputil.Addr, n)
+	for i := range addrs {
+		addrs[i] = iputil.Addr(base + uint32(i))
+	}
+	return addrs
+}
+
+func TestDetectCellular(t *testing.T) {
+	p := &fakePinger{profile: Cellular(60*time.Millisecond, 15*time.Millisecond, 1200*time.Millisecond)}
+	v := Detect(p, mkAddrs(0x0a000000, 300), DefaultDetectorConfig())
+	if !v.Cellular {
+		t.Errorf("cellular block not detected: fractionAbove=%v", v.FractionAbove)
+	}
+	if v.Probed != 300 {
+		t.Errorf("Probed = %d", v.Probed)
+	}
+	// The paper: ~50% of cellular addresses show diffs > 0.5s.
+	if v.FractionAbove < 0.35 {
+		t.Errorf("FractionAbove = %v, want >= 0.35", v.FractionAbove)
+	}
+	if v.Diffs.Median() < 0.1 {
+		t.Errorf("median diff = %v, want clearly positive", v.Diffs.Median())
+	}
+}
+
+func TestDetectWired(t *testing.T) {
+	p := &fakePinger{profile: Wired(20*time.Millisecond, 2*time.Millisecond)}
+	v := Detect(p, mkAddrs(0x0b000000, 300), DefaultDetectorConfig())
+	if v.Cellular {
+		t.Errorf("wired block misclassified as cellular: fractionAbove=%v", v.FractionAbove)
+	}
+	// SingTel/SoftBank in Figure 6: differences nearly zero.
+	med := v.Diffs.Median()
+	if med > 0.005 {
+		t.Errorf("median diff = %vs, want ~0", med)
+	}
+}
+
+func TestDetectSkipsIncompleteTrains(t *testing.T) {
+	addrs := mkAddrs(0x0c000000, 10)
+	p := &fakePinger{
+		profile: Wired(20*time.Millisecond, 2*time.Millisecond),
+		drop:    map[iputil.Addr]int{addrs[0]: 5, addrs[1]: 0},
+	}
+	v := Detect(p, addrs, DefaultDetectorConfig())
+	if v.Probed != 8 {
+		t.Errorf("Probed = %d, want 8 (two dropped)", v.Probed)
+	}
+}
+
+func TestDetectEmpty(t *testing.T) {
+	p := &fakePinger{profile: Wired(time.Millisecond, time.Millisecond)}
+	v := Detect(p, nil, DefaultDetectorConfig())
+	if v.Cellular || v.Probed != 0 || v.FractionAbove != 0 {
+		t.Errorf("empty Detect = %+v", v)
+	}
+}
+
+func TestDetectMinTrainLength(t *testing.T) {
+	p := &fakePinger{profile: Wired(time.Millisecond, time.Millisecond)}
+	cfg := DefaultDetectorConfig()
+	cfg.PingsPerAddr = 0 // must be clamped to 2, not panic
+	v := Detect(p, mkAddrs(0x0d000000, 3), cfg)
+	if v.Probed != 3 {
+		t.Errorf("Probed = %d", v.Probed)
+	}
+}

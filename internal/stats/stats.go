@@ -1,0 +1,271 @@
+// Package stats provides the small statistical toolkit used by the Hobbit
+// pipeline and its evaluation harness: empirical CDFs, histograms,
+// percentiles, and the Cochran sample-size computation the paper uses to
+// size its combination samples (16,588 points for a 99% confidence level
+// and 1% margin of error).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples. The
+// zero value is ready to use.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends one sample.
+func (c *CDF) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// AddAll appends many samples.
+func (c *CDF) AddAll(vs []float64) {
+	c.samples = append(c.samples, vs...)
+	c.sorted = false
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.samples) }
+
+func (c *CDF) sortSamples() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// At returns P(X <= v), the fraction of samples less than or equal to v.
+// It returns 0 for an empty CDF.
+func (c *CDF) At(v float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sortSamples()
+	i := sort.SearchFloat64s(c.samples, v)
+	// Advance past equal samples so that At is inclusive.
+	for i < len(c.samples) && c.samples[i] == v {
+		i++
+	}
+	return float64(i) / float64(len(c.samples))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using the nearest-rank
+// method. It panics on an empty CDF.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		panic("stats: Quantile of empty CDF")
+	}
+	c.sortSamples()
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(c.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return c.samples[rank]
+}
+
+// Median returns the 0.5 quantile.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Mean returns the arithmetic mean, or 0 for an empty CDF.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range c.samples {
+		sum += v
+	}
+	return sum / float64(len(c.samples))
+}
+
+// Min returns the smallest sample. It panics on an empty CDF.
+func (c *CDF) Min() float64 {
+	if len(c.samples) == 0 {
+		panic("stats: Min of empty CDF")
+	}
+	c.sortSamples()
+	return c.samples[0]
+}
+
+// Max returns the largest sample. It panics on an empty CDF.
+func (c *CDF) Max() float64 {
+	if len(c.samples) == 0 {
+		panic("stats: Max of empty CDF")
+	}
+	c.sortSamples()
+	return c.samples[len(c.samples)-1]
+}
+
+// Points renders the CDF as n evenly spaced (x, P(X<=x)) pairs between the
+// minimum and maximum sample, suitable for plotting a figure series. For an
+// empty CDF it returns nil.
+func (c *CDF) Points(n int) []Point {
+	if len(c.samples) == 0 || n <= 0 {
+		return nil
+	}
+	c.sortSamples()
+	lo, hi := c.samples[0], c.samples[len(c.samples)-1]
+	pts := make([]Point, 0, n)
+	if n == 1 || lo == hi {
+		return append(pts, Point{X: hi, Y: 1})
+	}
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		x := lo + float64(i)*step
+		pts = append(pts, Point{X: x, Y: c.At(x)})
+	}
+	return pts
+}
+
+// Point is one (x, y) sample of a rendered distribution series.
+type Point struct{ X, Y float64 }
+
+// Histogram counts integer-valued observations, used for the size
+// distributions of Figures 5 and 10.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add increments the count of value v.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns the number of observations equal to v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Values returns the observed values in ascending order.
+func (h *Histogram) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// CountAtLeast returns the number of observations >= v.
+func (h *Histogram) CountAtLeast(v int) int {
+	n := 0
+	for val, c := range h.counts {
+		if val >= v {
+			n += c
+		}
+	}
+	return n
+}
+
+// PowBuckets groups counts into power-of-two buckets [2^k, 2^(k+1)) and
+// returns (bucket exponent, count) pairs in ascending order, matching the
+// log-scaled x axes of Figures 5 and 10. Values < 1 are ignored.
+func (h *Histogram) PowBuckets() []BucketCount {
+	buckets := make(map[int]int)
+	for v, c := range h.counts {
+		if v < 1 {
+			continue
+		}
+		k := 0
+		for (1 << (k + 1)) <= v {
+			k++
+		}
+		buckets[k] += c
+	}
+	ks := make([]int, 0, len(buckets))
+	for k := range buckets {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	out := make([]BucketCount, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, BucketCount{Exp: k, Count: buckets[k]})
+	}
+	return out
+}
+
+// BucketCount is the count of observations in the bucket [2^Exp, 2^(Exp+1)).
+type BucketCount struct {
+	Exp   int
+	Count int
+}
+
+// zForConfidence maps the confidence levels the paper's sampling reference
+// (Thompson, "Sampling") tabulates to standard normal critical values.
+var zForConfidence = map[float64]float64{
+	0.90:  1.6448536,
+	0.95:  1.9599640,
+	0.99:  2.5758293,
+	0.999: 3.2905267,
+}
+
+// SampleSize computes the Cochran sample size for estimating a proportion:
+// n = z^2 p(1-p) / e^2, for confidence level conf (one of .90/.95/.99/.999),
+// margin of error e, and proportion estimate p, assuming infinite
+// population. The paper's parameters (99%, 1%, 0.5) yield 16,588.
+func SampleSize(conf, margin, proportion float64) (int, error) {
+	z, ok := zForConfidence[conf]
+	if !ok {
+		return 0, fmt.Errorf("stats: unsupported confidence level %v", conf)
+	}
+	if margin <= 0 || margin >= 1 {
+		return 0, fmt.Errorf("stats: margin of error %v out of range", margin)
+	}
+	if proportion < 0 || proportion > 1 {
+		return 0, fmt.Errorf("stats: proportion %v out of range", proportion)
+	}
+	n := z * z * proportion * (1 - proportion) / (margin * margin)
+	return int(math.Ceil(n)), nil
+}
+
+// Ratio formats a/b as a percentage string for report tables, guarding
+// against division by zero.
+func Ratio(a, b int) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(a)/float64(b))
+}
+
+// RenderCDF renders a compact ASCII sparkline of the CDF between its min
+// and max, for terminal reports. Width is the number of columns.
+func (c *CDF) RenderCDF(width int) string {
+	pts := c.Points(width)
+	if pts == nil {
+		return "(empty)"
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, p := range pts {
+		idx := int(p.Y * float64(len(levels)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// genPath builds a path from raw fuzz input: each element becomes a hop,
+// zero values become wildcards.
+func genPath(raw []uint32) Path {
+	p := make(Path, len(raw))
+	for i, v := range raw {
+		if v == 0 {
+			p[i] = Star
+		} else {
+			p[i] = R(iputil.Addr(v))
+		}
+	}
+	return p
+}
+
+func TestPathMatchReflexiveSymmetric(t *testing.T) {
+	f := func(raw []uint32, raw2 []uint32) bool {
+		p, q := genPath(raw), genPath(raw2)
+		if !p.MatchesWildcard(p) {
+			return false // reflexive
+		}
+		if p.MatchesWildcard(q) != q.MatchesWildcard(p) {
+			return false // symmetric
+		}
+		// Exact equality implies wildcard match.
+		if p.Equal(q) && !p.MatchesWildcard(q) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathKeyInjective(t *testing.T) {
+	// Key collides exactly when paths are Equal.
+	f := func(raw []uint32, raw2 []uint32) bool {
+		p, q := genPath(raw), genPath(raw2)
+		return (p.Key() == q.Key()) == p.Equal(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathCloneIndependent(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := genPath(raw)
+		c := p.Clone()
+		c[0] = R(iputil.Addr(0xdeadbeef))
+		return p.Equal(genPath(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathSetAddIdempotent(t *testing.T) {
+	f := func(raws [][]uint32) bool {
+		s := NewPathSet()
+		for _, raw := range raws {
+			s.Add(genPath(raw))
+		}
+		n := s.Len()
+		for _, raw := range raws {
+			if s.Add(genPath(raw)) {
+				return false // second insertion must be a no-op
+			}
+		}
+		return s.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinksNeverWildcard(t *testing.T) {
+	f := func(raw []uint32) bool {
+		for _, ln := range genPath(raw).Links() {
+			if ln.From == 0 || ln.To == 0 {
+				// genPath maps 0 to Star, so links never carry it.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
