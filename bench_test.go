@@ -8,14 +8,17 @@
 package hobbit
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/hobbitscan/hobbit/internal/aggregate"
 	"github.com/hobbitscan/hobbit/internal/cluster"
 	"github.com/hobbitscan/hobbit/internal/confidence"
+	"github.com/hobbitscan/hobbit/internal/core"
 	"github.com/hobbitscan/hobbit/internal/eval"
 	"github.com/hobbitscan/hobbit/internal/graph"
 	"github.com/hobbitscan/hobbit/internal/hobbit"
@@ -23,6 +26,7 @@ import (
 	"github.com/hobbitscan/hobbit/internal/mcl"
 	"github.com/hobbitscan/hobbit/internal/netsim"
 	"github.com/hobbitscan/hobbit/internal/probe"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
 	"github.com/hobbitscan/hobbit/internal/zmap"
 )
 
@@ -445,16 +449,64 @@ func BenchmarkCampaign(b *testing.B) {
 	if len(blocks) > 300 {
 		blocks = blocks[:300]
 	}
+	net := probe.Instrument(l.Net, nil, "measure")
 	c := &hobbit.Campaign{
-		Measurer: &hobbit.Measurer{Net: l.Net, Seed: 1},
+		Measurer: &hobbit.Measurer{Net: net, Seed: 1},
 		Dataset:  out.Dataset,
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := c.Run(blocks)
+		res, err := c.Run(context.Background(), blocks)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if res.Summary().Total != len(blocks) {
 			b.Fatal("incomplete campaign")
 		}
 	}
 	b.ReportMetric(float64(len(blocks)), "blocks/op")
+	b.ReportMetric(float64(net.Probes())/float64(b.N)/float64(len(blocks)), "probes/block")
+}
+
+// BenchmarkPipelineStages runs the end-to-end pipeline with telemetry and
+// reports the per-stage wall-clock split and probe load — the numbers
+// every later performance PR regresses against.
+func BenchmarkPipelineStages(b *testing.B) {
+	cfg := netsim.DefaultConfig(1200)
+	cfg.BigBlockScale = 0.02
+	w, err := netsim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stageNS := make(map[string]float64)
+	var probes, pings, blocks float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := telemetry.NewRegistry()
+		net := probe.Instrument(probe.NewSimNetwork(w), reg, core.StageMeasure)
+		p := &core.Pipeline{
+			Net:       net,
+			Scanner:   w,
+			Blocks:    w.Blocks(),
+			Seed:      7,
+			Telemetry: reg,
+		}
+		out, err := p.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range reg.Spans() {
+			stageNS[s.Name] += s.DurationMS * float64(time.Millisecond)
+		}
+		probes += float64(net.Probes())
+		pings += float64(net.Pings())
+		blocks += float64(len(out.Eligible))
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	for stage, ns := range stageNS {
+		b.ReportMetric(ns/n/float64(time.Millisecond), stage+"-ms/op")
+	}
+	b.ReportMetric(probes/blocks, "probes/block")
+	b.ReportMetric((probes+pings)/n, "packets/op")
 }

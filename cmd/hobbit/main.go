@@ -8,12 +8,22 @@
 //
 //	hobbit [-blocks N] [-scale F] [-seed S] [-workers W]
 //	       [-skip-clustering] [-dump FILE] [-top N]
+//	       [-json] [-progress] [-metrics-addr HOST:PORT]
+//
+// Every run is instrumented: -json emits a machine-readable summary with
+// a telemetry section (per-stage durations, per-stage probe counts,
+// histograms), -progress streams live progress lines to stderr, and
+// -metrics-addr serves the live registry snapshot as JSON over HTTP while
+// the run executes.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -23,24 +33,28 @@ import (
 	"github.com/hobbitscan/hobbit/internal/hobbit"
 	"github.com/hobbitscan/hobbit/internal/netsim"
 	"github.com/hobbitscan/hobbit/internal/probe"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
 )
 
 func main() {
 	var (
-		blocks  = flag.Int("blocks", 20000, "number of /24 blocks in the synthetic universe")
-		scale   = flag.Float64("scale", 0.25, "scale factor for the planted Table-5 aggregates")
-		seed    = flag.Uint64("seed", 0x40bb17, "world and measurement seed")
-		workers = flag.Int("workers", 0, "measurement workers (0 = GOMAXPROCS)")
-		skipCl  = flag.Bool("skip-clustering", false, "stop after identical-set aggregation")
-		dump    = flag.String("dump", "", "write the final homogeneous block map to this file")
-		top     = flag.Int("top", 15, "number of largest blocks to characterize")
-		jsonOut = flag.Bool("json", false, "emit a machine-readable run summary instead of tables")
+		blocks   = flag.Int("blocks", 20000, "number of /24 blocks in the synthetic universe")
+		scale    = flag.Float64("scale", 0.25, "scale factor for the planted Table-5 aggregates")
+		seed     = flag.Uint64("seed", 0x40bb17, "world and measurement seed")
+		workers  = flag.Int("workers", 0, "measurement workers (0 = GOMAXPROCS)")
+		skipCl   = flag.Bool("skip-clustering", false, "stop after identical-set aggregation")
+		dump     = flag.String("dump", "", "write the final homogeneous block map to this file")
+		top      = flag.Int("top", 15, "number of largest blocks to characterize")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable run summary instead of tables")
+		progress = flag.Bool("progress", false, "stream live measurement progress lines to stderr")
+		metrics  = flag.String("metrics-addr", "", "serve the live telemetry snapshot as JSON on this address")
 	)
 	flag.Parse()
 
-	if err := run(runConfig{
+	if err := run(context.Background(), runConfig{
 		blocks: *blocks, scale: *scale, seed: *seed, workers: *workers,
 		skipClustering: *skipCl, dump: *dump, top: *top, json: *jsonOut,
+		progress: *progress, metricsAddr: *metrics,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "hobbit:", err)
 		os.Exit(1)
@@ -56,9 +70,18 @@ type runConfig struct {
 	dump           string
 	top            int
 	json           bool
+	progress       bool
+	metricsAddr    string
+	// stdout overrides the output stream (tests capture it; nil means
+	// os.Stdout).
+	stdout io.Writer
 }
 
-func run(rc runConfig) error {
+func run(ctx context.Context, rc runConfig) error {
+	stdout := rc.stdout
+	if stdout == nil {
+		stdout = os.Stdout
+	}
 	cfg := netsim.DefaultConfig(rc.blocks)
 	cfg.BigBlockScale = rc.scale
 	cfg.Seed = rc.seed
@@ -69,11 +92,22 @@ func run(rc runConfig) error {
 		return err
 	}
 	if !rc.json {
-		fmt.Printf("world: %d /24 blocks, %d routers (built in %v)\n",
+		fmt.Fprintf(stdout, "world: %d /24 blocks, %d routers (built in %v)\n",
 			len(world.Blocks()), world.NumRouters(), time.Since(start).Round(time.Millisecond))
 	}
 
-	net := probe.NewCounter(probe.NewSimNetwork(world))
+	reg := telemetry.NewRegistry()
+	if rc.metricsAddr != "" {
+		srv := &http.Server{Addr: rc.metricsAddr, Handler: reg}
+		defer srv.Close()
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "hobbit: metrics server:", err)
+			}
+		}()
+	}
+
+	net := probe.Instrument(probe.NewSimNetwork(world), reg, core.StageMeasure)
 	p := &core.Pipeline{
 		Net:            net,
 		Scanner:        world,
@@ -82,34 +116,39 @@ func run(rc runConfig) error {
 		Workers:        rc.workers,
 		SkipClustering: rc.skipClustering,
 		ValidatePairs:  20000,
+		Telemetry:      reg,
+	}
+	if rc.progress {
+		p.Progress = telemetry.NewLineSink(os.Stderr, 100)
 	}
 	start = time.Now()
-	out, err := p.Run()
+	out, err := p.Run(ctx)
 	if err != nil {
 		return err
 	}
 	if rc.json {
-		return writeJSON(world, out, net)
+		return writeJSON(stdout, world, out, net, reg)
 	}
-	fmt.Printf("pipeline: %d eligible /24s measured in %v (%d pings, %d probes)\n\n",
-		len(out.Eligible), time.Since(start).Round(time.Millisecond), net.Pings(), net.Probes())
+	fmt.Fprintf(stdout, "pipeline: %d eligible /24s measured in %v (%d pings, %d probes, %d retries)\n\n",
+		len(out.Eligible), time.Since(start).Round(time.Millisecond), net.Pings(), net.Probes(),
+		net.PingRetries()+net.ProbeRetries())
 
 	// Table 1-style classification summary.
 	sum := out.Campaign.Summary()
-	fmt.Println("classification of measured /24 blocks:")
+	fmt.Fprintln(stdout, "classification of measured /24 blocks:")
 	for _, cls := range []hobbit.Class{
 		hobbit.ClassTooFewActive, hobbit.ClassUnresponsiveLastHop,
 		hobbit.ClassSameLastHop, hobbit.ClassNonHierarchical,
 		hobbit.ClassHierarchical,
 	} {
-		fmt.Printf("  %-28s %8d (%5.1f%%)\n", cls, sum.Counts[cls],
+		fmt.Fprintf(stdout, "  %-28s %8d (%5.1f%%)\n", cls, sum.Counts[cls],
 			100*float64(sum.Counts[cls])/float64(max(sum.Total, 1)))
 	}
-	fmt.Printf("homogeneous: %d of %d measurable (%.1f%%)\n\n",
+	fmt.Fprintf(stdout, "homogeneous: %d of %d measurable (%.1f%%)\n\n",
 		sum.Homogeneous(), sum.Measurable(),
 		100*float64(sum.Homogeneous())/float64(max(sum.Measurable(), 1)))
 
-	fmt.Printf("identical-set aggregation: %d homogeneous /24s -> %d blocks\n",
+	fmt.Fprintf(stdout, "identical-set aggregation: %d homogeneous /24s -> %d blocks\n",
 		sum.Homogeneous(), len(out.Aggregates))
 	if out.Clustering != nil {
 		validated := 0
@@ -118,57 +157,66 @@ func run(rc runConfig) error {
 				validated++
 			}
 		}
-		fmt.Printf("clustering: %d clusters (inflation %.2f), %d validated by reprobing -> %d final blocks\n",
+		fmt.Fprintf(stdout, "clustering: %d clusters (inflation %.2f), %d validated by reprobing -> %d final blocks\n",
 			len(out.Clustering.Clusters), out.Clustering.ChosenInflation, validated, len(out.Final))
 	}
 
-	fmt.Printf("\ntop %d homogeneous blocks:\n", rc.top)
-	fmt.Printf("  %-5s %-6s %-22s %-18s %s\n", "rank", "#/24s", "organization", "geo-location", "type")
+	fmt.Fprintln(stdout, "\nstage timings:")
+	for _, s := range reg.Spans() {
+		fmt.Fprintf(stdout, "  %-12s %8.0fms\n", s.Name, s.DurationMS)
+	}
+
+	fmt.Fprintf(stdout, "\ntop %d homogeneous blocks:\n", rc.top)
+	fmt.Fprintf(stdout, "  %-5s %-6s %-22s %-18s %s\n", "rank", "#/24s", "organization", "geo-location", "type")
 	for i, b := range aggregate.TopBySize(out.Final, rc.top) {
 		info, _ := world.Geo().Lookup(b.Blocks24[0])
 		loc := info.Country
 		if city := world.Geo().City(b.Blocks24[0]); city != "" {
 			loc += " (" + city + ")"
 		}
-		fmt.Printf("  %-5d %-6d %-22s %-18s %s\n", i+1, b.Size(), info.Org, loc, info.Type)
+		fmt.Fprintf(stdout, "  %-5d %-6d %-22s %-18s %s\n", i+1, b.Size(), info.Org, loc, info.Type)
 	}
 
 	if rc.dump != "" {
 		if err := dumpBlocks(rc.dump, out); err != nil {
 			return err
 		}
-		fmt.Printf("\nblock map written to %s\n", rc.dump)
+		fmt.Fprintf(stdout, "\nblock map written to %s\n", rc.dump)
 	}
 	return nil
 }
 
 // runSummary is the -json output shape.
 type runSummary struct {
-	Universe    int            `json:"universe_blocks"`
-	Eligible    int            `json:"eligible_blocks"`
-	Pings       int64          `json:"pings"`
-	Probes      int64          `json:"probes"`
-	Classes     map[string]int `json:"classification"`
-	Homogeneous int            `json:"homogeneous_blocks"`
-	Measurable  int            `json:"measurable_blocks"`
-	Aggregates  int            `json:"identical_set_aggregates"`
-	Clusters    int            `json:"mcl_clusters"`
-	Validated   int            `json:"validated_clusters"`
-	Final       int            `json:"final_blocks"`
+	Universe    int                `json:"universe_blocks"`
+	Eligible    int                `json:"eligible_blocks"`
+	Pings       int64              `json:"pings"`
+	Probes      int64              `json:"probes"`
+	Retries     int64              `json:"retries"`
+	Classes     map[string]int     `json:"classification"`
+	Homogeneous int                `json:"homogeneous_blocks"`
+	Measurable  int                `json:"measurable_blocks"`
+	Aggregates  int                `json:"identical_set_aggregates"`
+	Clusters    int                `json:"mcl_clusters"`
+	Validated   int                `json:"validated_clusters"`
+	Final       int                `json:"final_blocks"`
+	Telemetry   telemetry.Snapshot `json:"telemetry"`
 }
 
-func writeJSON(world *netsim.World, out *core.Output, net *probe.Counter) error {
+func writeJSON(w io.Writer, world *netsim.World, out *core.Output, net *probe.Instrumented, reg *telemetry.Registry) error {
 	sum := out.Campaign.Summary()
 	s := runSummary{
 		Universe:    len(world.Blocks()),
 		Eligible:    len(out.Eligible),
 		Pings:       net.Pings(),
 		Probes:      net.Probes(),
+		Retries:     net.PingRetries() + net.ProbeRetries(),
 		Classes:     make(map[string]int),
 		Homogeneous: sum.Homogeneous(),
 		Measurable:  sum.Measurable(),
 		Aggregates:  len(out.Aggregates),
 		Final:       len(out.Final),
+		Telemetry:   reg.Snapshot(),
 	}
 	for cls, n := range sum.Counts {
 		s.Classes[cls.String()] = n
@@ -181,7 +229,7 @@ func writeJSON(world *netsim.World, out *core.Output, net *probe.Counter) error 
 			}
 		}
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
 }
@@ -194,11 +242,4 @@ func dumpBlocks(path string, out *core.Output) error {
 	}
 	defer f.Close()
 	return blockmap.Write(f, out.Final)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

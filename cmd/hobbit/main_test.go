@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"github.com/hobbitscan/hobbit/internal/blockmap"
@@ -13,7 +17,7 @@ func TestRunSmoke(t *testing.T) {
 		t.Skip("pipeline smoke test is slow")
 	}
 	dump := filepath.Join(t.TempDir(), "map.txt")
-	if err := run(runConfig{blocks: 500, scale: 0.02, seed: 7, dump: dump, top: 5}); err != nil {
+	if err := run(context.Background(), runConfig{blocks: 500, scale: 0.02, seed: 7, dump: dump, top: 5}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(dump)
@@ -34,7 +38,125 @@ func TestRunSkipClustering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("pipeline smoke test is slow")
 	}
-	if err := run(runConfig{blocks: 300, scale: 0.02, seed: 7, workers: 2, skipClustering: true, top: 3}); err != nil {
+	if err := run(context.Background(), runConfig{blocks: 300, scale: 0.02, seed: 7, workers: 2, skipClustering: true, top: 3}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// jsonSummary mirrors the -json output for shape assertions.
+type jsonSummary struct {
+	Universe  int            `json:"universe_blocks"`
+	Eligible  int            `json:"eligible_blocks"`
+	Pings     int64          `json:"pings"`
+	Probes    int64          `json:"probes"`
+	Classes   map[string]int `json:"classification"`
+	Final     int            `json:"final_blocks"`
+	Telemetry struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"histograms"`
+		Stages []struct {
+			Name       string  `json:"name"`
+			DurationMS float64 `json:"duration_ms"`
+		} `json:"stages"`
+	} `json:"telemetry"`
+}
+
+func runJSON(t *testing.T, seed uint64) (jsonSummary, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(context.Background(), runConfig{
+		blocks: 300, scale: 0.02, seed: seed, workers: 4, top: 3,
+		json: true, stdout: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s jsonSummary
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, buf.String())
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	return s, raw
+}
+
+// TestRunJSONShape is the golden-style assertion on the -json summary:
+// every top-level key the seed shipped plus the new telemetry section.
+func TestRunJSONShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline smoke test is slow")
+	}
+	s, raw := runJSON(t, 7)
+	for _, key := range []string{
+		"universe_blocks", "eligible_blocks", "pings", "probes", "retries",
+		"classification", "homogeneous_blocks", "measurable_blocks",
+		"identical_set_aggregates", "mcl_clusters", "validated_clusters",
+		"final_blocks", "telemetry",
+	} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("-json output missing key %q", key)
+		}
+	}
+	if s.Universe != 300 || s.Eligible == 0 || s.Pings == 0 || s.Probes == 0 {
+		t.Errorf("implausible summary: %+v", s)
+	}
+
+	// The telemetry section reports per-stage durations…
+	stages := make(map[string]bool)
+	for _, st := range s.Telemetry.Stages {
+		stages[st.Name] = true
+		if st.DurationMS < 0 {
+			t.Errorf("stage %s has negative duration", st.Name)
+		}
+	}
+	for _, want := range []string{"census", "measure", "aggregate", "cluster", "validate"} {
+		if !stages[want] {
+			t.Errorf("telemetry stages missing %q: %+v", want, s.Telemetry.Stages)
+		}
+	}
+	// …and per-stage probe/ping counts consistent with the flat totals.
+	c := s.Telemetry.Counters
+	if c["probe/measure/probes"] == 0 || c["probe/measure/pings"] == 0 {
+		t.Errorf("measure-stage probe counters empty: %v", c)
+	}
+	if got := c["probe/measure/probes"] + c["probe/validate/probes"]; got != s.Probes {
+		t.Errorf("per-stage probes %d != total %d", got, s.Probes)
+	}
+	if got := c["probe/measure/pings"] + c["probe/validate/pings"]; got != s.Pings {
+		t.Errorf("per-stage pings %d != total %d", got, s.Pings)
+	}
+	if c["campaign/blocks_measured"] != int64(s.Eligible) {
+		t.Errorf("blocks_measured %d != eligible %d", c["campaign/blocks_measured"], s.Eligible)
+	}
+	if s.Telemetry.Histograms["campaign/probed_per_block"].Count != int64(s.Eligible) {
+		t.Errorf("probed_per_block histogram = %+v", s.Telemetry.Histograms)
+	}
+}
+
+// TestRunJSONDeterministic: two same-seed runs must agree on every counter
+// (timings excluded) — telemetry doubles as a regression check on
+// measurement load.
+func TestRunJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline smoke test is slow")
+	}
+	s1, _ := runJSON(t, 7)
+	s2, _ := runJSON(t, 7)
+	if !reflect.DeepEqual(s1.Telemetry.Counters, s2.Telemetry.Counters) {
+		t.Errorf("same-seed counter snapshots differ:\n%v\n%v",
+			s1.Telemetry.Counters, s2.Telemetry.Counters)
+	}
+	if s1.Pings != s2.Pings || s1.Probes != s2.Probes || s1.Final != s2.Final {
+		t.Errorf("same-seed summaries differ: %+v vs %+v", s1, s2)
+	}
+	// And a different seed actually moves the load, so the check has
+	// teeth.
+	s3, _ := runJSON(t, 8)
+	if reflect.DeepEqual(s1.Telemetry.Counters, s3.Telemetry.Counters) {
+		t.Error("different seeds produced identical counter snapshots")
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 		log.Fatal(err)
 	}
 	pipeline := &core.Pipeline{Net: probe.NewSimNetwork(world), Scanner: world, Blocks: world.Blocks(), Seed: 9}
-	out, err := pipeline.Run()
+	out, err := pipeline.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,13 +5,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"github.com/hobbitscan/hobbit/internal/core"
 	"github.com/hobbitscan/hobbit/internal/hobbit"
 	"github.com/hobbitscan/hobbit/internal/netsim"
 	"github.com/hobbitscan/hobbit/internal/probe"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
 )
 
 func main() {
@@ -26,14 +29,19 @@ func main() {
 	fmt.Printf("world: %d /24s, %d router interfaces\n", len(world.Blocks()), world.NumRouters())
 
 	// 2. The end-to-end pipeline: census -> Hobbit -> aggregation ->
-	// clustering -> validation.
+	// clustering -> validation. A telemetry registry observes every
+	// stage (spans, probe counters, progress); the context makes the
+	// run cancellable.
+	reg := telemetry.NewRegistry()
 	pipeline := &core.Pipeline{
-		Net:     probe.NewSimNetwork(world),
-		Scanner: world,
-		Blocks:  world.Blocks(),
-		Seed:    7,
+		Net:       probe.Instrument(probe.NewSimNetwork(world), reg, core.StageMeasure),
+		Scanner:   world,
+		Blocks:    world.Blocks(),
+		Seed:      7,
+		Telemetry: reg,
+		Progress:  telemetry.NewLineSink(os.Stderr, 500),
 	}
-	out, err := pipeline.Run()
+	out, err := pipeline.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,4 +83,16 @@ func main() {
 		}
 	}
 	fmt.Printf("\nground truth: %d of %d final blocks are pure\n", pure, len(out.Final))
+
+	// 5. The run's load accounting: where the wall-clock went and how
+	// many probes each stage cost.
+	fmt.Println("\nstage timings and probe load:")
+	snap := reg.Snapshot()
+	for _, s := range snap.Stages {
+		fmt.Printf("  %-10s %7.0fms\n", s.Name, s.DurationMS)
+	}
+	fmt.Printf("  measure: %d probes (%d retries), validate: %d probes\n",
+		snap.Counters["probe/measure/probes"],
+		snap.Counters["probe/measure/probe_retries"],
+		snap.Counters["probe/validate/probes"])
 }

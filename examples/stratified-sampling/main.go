@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -25,7 +26,7 @@ func main() {
 		log.Fatal(err)
 	}
 	pipeline := &core.Pipeline{Net: probe.NewSimNetwork(world), Scanner: world, Blocks: world.Blocks(), Seed: 5}
-	out, err := pipeline.Run()
+	out, err := pipeline.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

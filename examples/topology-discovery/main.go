@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -27,7 +28,7 @@ func main() {
 	net := probe.NewSimNetwork(world)
 
 	pipeline := &core.Pipeline{Net: net, Scanner: world, Blocks: world.Blocks(), Seed: 3}
-	out, err := pipeline.Run()
+	out, err := pipeline.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,10 +5,15 @@
 //
 // The stages can also be driven individually through the packages they
 // live in (zmap, hobbit, aggregate, cluster); Pipeline wires them together
-// with the paper's defaults.
+// with the paper's defaults. A run is observable through the optional
+// telemetry registry (per-stage spans, probe/ping counters, progress
+// events) and cancellable through its context: Run checks ctx between
+// stages and between blocks inside the measurement campaign, returning
+// the artifacts completed so far alongside ctx.Err().
 package core
 
 import (
+	"context"
 	"errors"
 
 	"github.com/hobbitscan/hobbit/internal/aggregate"
@@ -16,14 +21,25 @@ import (
 	"github.com/hobbitscan/hobbit/internal/hobbit"
 	"github.com/hobbitscan/hobbit/internal/iputil"
 	"github.com/hobbitscan/hobbit/internal/probe"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
 	"github.com/hobbitscan/hobbit/internal/zmap"
+)
+
+// Stage names used for spans and per-stage probe attribution.
+const (
+	StageCensus    = "census"
+	StageMeasure   = "measure"
+	StageAggregate = "aggregate"
+	StageCluster   = "cluster"
+	StageValidate  = "validate"
 )
 
 // Pipeline configures an end-to-end run.
 type Pipeline struct {
 	// Net answers measurement-time probes; Scanner answers census-time
 	// echo requests. A netsim.World (wrapped in probe.SimNetwork for
-	// Net) satisfies both.
+	// Net) satisfies both. Wrapping Net in probe.Instrument additionally
+	// attributes every probe to the pipeline stage that sent it.
 	Net     probe.Network
 	Scanner zmap.Scanner
 	// Blocks is the /24 universe to consider.
@@ -44,6 +60,13 @@ type Pipeline struct {
 	ValidatePairs int
 	// SkipClustering stops after identical-set aggregation.
 	SkipClustering bool
+	// Telemetry records per-stage spans, counters, and histograms for
+	// the run; nil disables observation. Counter state is deterministic
+	// for a fixed Seed (see telemetry.Registry.MarshalCounters).
+	Telemetry *telemetry.Registry
+	// Progress receives live measurement progress events; nil disables
+	// them.
+	Progress telemetry.Sink
 }
 
 // Output carries every intermediate and final artifact of a run.
@@ -74,50 +97,110 @@ func (p *Pipeline) minActive() int {
 	return 4
 }
 
-// Run executes the pipeline.
-func (p *Pipeline) Run() (*Output, error) {
+// newMeasurer builds the per-block Measurer shared by the measurement
+// campaign (exhaustive=false) and the Section 6.5 reprobe validation
+// (exhaustive=true), so every option — probing surface, MDA tuning,
+// terminator, eligibility threshold, seed — is set in exactly one place.
+func (p *Pipeline) newMeasurer(exhaustive bool) *hobbit.Measurer {
+	return &hobbit.Measurer{
+		Net:        p.Net,
+		Opts:       p.MDAOpts,
+		Term:       p.Terminator,
+		MinActive:  p.minActive(),
+		Seed:       p.Seed,
+		Exhaustive: exhaustive,
+	}
+}
+
+// setStage attributes subsequent probes on the probing surface to the
+// named stage, when the surface supports attribution.
+func (p *Pipeline) setStage(stage string) {
+	if s, ok := p.Net.(interface{ SetStage(string) }); ok {
+		s.SetStage(stage)
+	}
+}
+
+// Run executes the pipeline. It checks ctx between stages (and, inside
+// the measurement campaign, between blocks): on cancellation it returns
+// the Output artifacts completed so far together with ctx.Err(), so a
+// partial run remains inspectable.
+func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 	if p.Net == nil || p.Scanner == nil {
 		return nil, errors.New("core: Pipeline needs Net and Scanner")
 	}
 	if len(p.Blocks) == 0 {
 		return nil, errors.New("core: no blocks to measure")
 	}
+	reg := p.Telemetry
 	out := &Output{}
-	out.Dataset = zmap.Scan(p.Scanner, p.Blocks)
+
+	span := reg.StartSpan(StageCensus)
+	out.Dataset = zmap.ScanObserved(p.Scanner, p.Blocks, reg)
 	out.Eligible = out.Dataset.EligibleBlocks(p.Blocks, p.minActive())
-
-	measurer := &hobbit.Measurer{
-		Net:       p.Net,
-		Opts:      p.MDAOpts,
-		Term:      p.Terminator,
-		MinActive: p.minActive(),
-		Seed:      p.Seed,
+	reg.Counter("census/eligible_blocks").Add(int64(len(out.Eligible)))
+	span.End()
+	if err := ctx.Err(); err != nil {
+		return out, err
 	}
-	campaign := &hobbit.Campaign{Measurer: measurer, Dataset: out.Dataset, Workers: p.Workers}
-	out.Campaign = campaign.Run(out.Eligible)
 
-	out.Aggregates = aggregate.Identical(out.Campaign.HomogeneousBlocks())
+	span = reg.StartSpan(StageMeasure)
+	p.setStage(StageMeasure)
+	campaign := &hobbit.Campaign{
+		Measurer:  p.newMeasurer(false),
+		Dataset:   out.Dataset,
+		Workers:   p.Workers,
+		Telemetry: reg,
+		Progress:  p.Progress,
+		Stage:     StageMeasure,
+	}
+	res, err := campaign.Run(ctx, out.Eligible)
+	out.Campaign = res
+	span.End()
+	if err != nil {
+		return out, err
+	}
+
+	span = reg.StartSpan(StageAggregate)
+	homogeneous := out.Campaign.HomogeneousBlocks()
+	out.Aggregates = aggregate.Identical(homogeneous)
+	reg.Counter("aggregate/homogeneous_in").Add(int64(len(homogeneous)))
+	reg.Counter("aggregate/blocks_out").Add(int64(len(out.Aggregates)))
+	span.End()
 	if p.SkipClustering {
 		out.Final = out.Aggregates
-		return out, nil
+		return out, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
 	}
 
-	pipe := &cluster.Pipeline{Seed: p.Seed}
+	span = reg.StartSpan(StageCluster)
+	pipe := &cluster.Pipeline{Seed: p.Seed, Telemetry: reg}
 	out.Clustering = pipe.Run(out.Aggregates)
+	span.End()
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 
-	rp := &exhaustiveReprober{m: &hobbit.Measurer{
-		Net:        p.Net,
-		Opts:       p.MDAOpts,
-		Term:       p.Terminator,
-		MinActive:  p.minActive(),
-		Seed:       p.Seed,
-		Exhaustive: true,
-	}, ds: out.Dataset}
+	span = reg.StartSpan(StageValidate)
+	defer span.End()
+	p.setStage(StageValidate)
+	rp := &exhaustiveReprober{m: p.newMeasurer(true), ds: out.Dataset}
+	pairsChecked := reg.Counter("validate/pairs_checked")
+	identicalPairs := reg.Counter("validate/identical_pairs")
+	reprobed := reg.Counter("validate/blocks_reprobed")
+	accepted := reg.Counter("validate/clusters_validated")
 	out.Validations = make(map[int]cluster.Validation, len(out.Clustering.Clusters))
 	validated := make(map[int]bool)
 	for _, c := range out.Clustering.Clusters {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		v := cluster.Validate(c, rp, p.ValidatePairs, p.Seed)
 		out.Validations[c.ID] = v
+		pairsChecked.Add(int64(v.PairsChecked))
+		identicalPairs.Add(int64(v.IdenticalPairs))
+		reprobed.Add(int64(v.Reprobed))
 		// Accept the paper's strict all-pairs-identical criterion, or a
 		// dominant modal set: availability churn leaves a few members
 		// of a truly homogeneous cluster with incomplete observations,
@@ -125,10 +208,12 @@ func (p *Pipeline) Run() (*Output, error) {
 		// wrongly mixed two aggregates.
 		if v.Homogeneous || (v.Reprobed >= 4 && v.ModalShare >= 0.9) {
 			validated[c.ID] = true
+			accepted.Inc()
 		}
 	}
 	out.Validated = validated
 	out.Final = cluster.ApplyValidated(out.Clustering, validated)
+	reg.Counter("validate/final_blocks").Add(int64(len(out.Final)))
 	return out, nil
 }
 

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"context"
 	"testing"
 
 	"github.com/hobbitscan/hobbit/internal/netsim"
 	"github.com/hobbitscan/hobbit/internal/probe"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
 )
 
 func testPipeline(t *testing.T, n int) (*netsim.World, *Pipeline) {
@@ -28,7 +31,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 		t.Skip("end-to-end pipeline is slow")
 	}
 	w, p := testPipeline(t, 1200)
-	out, err := p.Run()
+	out, err := p.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +101,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 func TestPipelineSkipClustering(t *testing.T) {
 	_, p := testPipeline(t, 300)
 	p.SkipClustering = true
-	out, err := p.Run()
+	out, err := p.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,12 +114,128 @@ func TestPipelineSkipClustering(t *testing.T) {
 }
 
 func TestPipelineValidation(t *testing.T) {
-	if _, err := (&Pipeline{}).Run(); err == nil {
+	if _, err := (&Pipeline{}).Run(context.Background()); err == nil {
 		t.Error("missing Net/Scanner should error")
 	}
 	w, _ := testPipeline(t, 100)
 	p := &Pipeline{Net: probe.NewSimNetwork(w), Scanner: w}
-	if _, err := p.Run(); err == nil {
+	if _, err := p.Run(context.Background()); err == nil {
 		t.Error("missing blocks should error")
+	}
+}
+
+func TestPipelineCancellation(t *testing.T) {
+	_, p := testPipeline(t, 400)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first stage boundary
+	out, err := p.Run(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out == nil || out.Dataset == nil {
+		t.Fatal("partial output lost on cancellation")
+	}
+	// No measurement happened, but the partial artifacts are coherent.
+	if out.Campaign != nil && out.Campaign.Summary().Total != 0 {
+		t.Errorf("cancelled run still measured %d blocks", out.Campaign.Summary().Total)
+	}
+	if len(out.Final) != 0 {
+		t.Error("cancelled run produced final blocks")
+	}
+}
+
+func TestPipelineMidCampaignCancellation(t *testing.T) {
+	_, p := testPipeline(t, 400)
+	p.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	// Cancel from inside the campaign, after a handful of blocks.
+	p.Progress = telemetry.SinkFunc(func(ev telemetry.ProgressEvent) {
+		if n++; n == 5 {
+			cancel()
+		}
+	})
+	out, err := p.Run(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	sum := out.Campaign.Summary()
+	if sum.Total == 0 {
+		t.Error("mid-campaign cancellation lost the partial result")
+	}
+	if sum.Total == len(out.Eligible) {
+		t.Error("cancellation did not stop the campaign early")
+	}
+}
+
+// TestPipelineTelemetryDeterministic runs two same-seed pipelines over two
+// same-seed worlds and requires byte-identical counter snapshots (timings
+// excluded): the telemetry layer doubles as a regression check on
+// measurement load.
+func TestPipelineTelemetryDeterministic(t *testing.T) {
+	snap := func() []byte {
+		_, p := testPipeline(t, 300)
+		p.Telemetry = telemetry.NewRegistry()
+		p.Net = probe.Instrument(p.Net, p.Telemetry, StageMeasure)
+		if _, err := p.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		j, err := p.Telemetry.MarshalCounters()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	j1, j2 := snap(), snap()
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("same-seed counter snapshots differ:\n%s\n%s", j1, j2)
+	}
+}
+
+// TestPipelineTelemetryCoverage checks that one instrumented run populates
+// every stage span and the load counters of each stage.
+func TestPipelineTelemetryCoverage(t *testing.T) {
+	_, p := testPipeline(t, 300)
+	reg := telemetry.NewRegistry()
+	p.Telemetry = reg
+	p.Net = probe.Instrument(p.Net, reg, StageMeasure)
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+
+	stages := make(map[string]bool)
+	for _, s := range snap.Stages {
+		if s.Running {
+			t.Errorf("stage %s still running after Run returned", s.Name)
+		}
+		stages[s.Name] = true
+	}
+	for _, want := range []string{StageCensus, StageMeasure, StageAggregate, StageCluster, StageValidate} {
+		if !stages[want] {
+			t.Errorf("no span recorded for stage %s", want)
+		}
+	}
+	for _, c := range []string{
+		"census/scan_pings", "census/responders", "census/eligible_blocks",
+		"campaign/blocks_measured",
+		"probe/measure/pings", "probe/measure/probes",
+		"aggregate/blocks_out", "cluster/components",
+	} {
+		if snap.Counters[c] == 0 {
+			t.Errorf("counter %s is zero", c)
+		}
+	}
+	// Reprobe load is attributed to the validate stage (when any cluster
+	// needed validation at this scale).
+	if snap.Counters["validate/pairs_checked"] > 0 && snap.Counters["probe/validate/probes"] == 0 {
+		t.Error("validation reprobes not attributed to the validate stage")
+	}
+	if snap.Histograms["campaign/probed_per_block"].Count == 0 {
+		t.Error("probed_per_block histogram empty")
+	}
+	if snap.Counters["campaign/blocks_measured"] != snap.Counters["census/eligible_blocks"] {
+		t.Errorf("measured %d blocks of %d eligible",
+			snap.Counters["campaign/blocks_measured"], snap.Counters["census/eligible_blocks"])
 	}
 }

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/hobbitscan/hobbit/internal/core"
@@ -21,7 +22,7 @@ func Example() {
 		Blocks:  world.Blocks(),
 		Seed:    42,
 	}
-	out, err := pipeline.Run()
+	out, err := pipeline.Run(context.Background())
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/hobbitscan/hobbit/internal/hobbit"
@@ -26,7 +27,7 @@ func runHostile(t *testing.T, mutate func(*netsim.Config)) *Output {
 		Blocks:  w.Blocks(),
 		Seed:    11,
 	}
-	out, err := p.Run()
+	out, err := p.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -108,7 +109,7 @@ func (l *Lab) Pipeline() (*core.Output, error) {
 		Seed:          l.Seed,
 		ValidatePairs: 2000,
 	}
-	out, err := p.Run()
+	out, err := p.Run(context.Background())
 	if err != nil {
 		return nil, err
 	}

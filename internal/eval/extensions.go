@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+
 	"github.com/hobbitscan/hobbit/internal/core"
 	"github.com/hobbitscan/hobbit/internal/hobbit"
 	"github.com/hobbitscan/hobbit/internal/iputil"
@@ -39,7 +41,7 @@ func runLongitudinal(l *Lab) (*Report, error) {
 			Seed:           l.Seed + uint64(e),
 			SkipClustering: true,
 		}
-		out, err := p.Run()
+		out, err := p.Run(context.Background())
 		if err != nil {
 			return nil, err
 		}

@@ -1,10 +1,12 @@
 package hobbit
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
 	"github.com/hobbitscan/hobbit/internal/zmap"
 )
 
@@ -18,6 +20,14 @@ type Campaign struct {
 	Dataset *zmap.Dataset
 	// Workers bounds concurrency; 0 uses GOMAXPROCS.
 	Workers int
+	// Telemetry receives per-block accounting ("campaign/…" counters and
+	// histograms); nil disables it.
+	Telemetry *telemetry.Registry
+	// Progress receives a ProgressEvent after every measured block; nil
+	// disables it. Stage names the emitting stage in events (default
+	// "measure").
+	Progress telemetry.Sink
+	Stage    string
 }
 
 // Summary tallies a campaign by class.
@@ -59,7 +69,7 @@ func (r *Result) Summary() Summary {
 func (r *Result) HomogeneousBlocks() []*BlockResult {
 	var out []*BlockResult
 	for _, b := range r.Order {
-		if br := r.Blocks[b]; br.Class.Homogeneous() {
+		if br, ok := r.Blocks[b]; ok && br.Class.Homogeneous() {
 			out = append(out, br)
 		}
 	}
@@ -70,15 +80,57 @@ func (r *Result) HomogeneousBlocks() []*BlockResult {
 func (r *Result) ClassBlocks(c Class) []*BlockResult {
 	var out []*BlockResult
 	for _, b := range r.Order {
-		if br := r.Blocks[b]; br.Class == c {
+		if br, ok := r.Blocks[b]; ok && br.Class == c {
 			out = append(out, br)
 		}
 	}
 	return out
 }
 
-// Run measures the given blocks (typically Dataset.EligibleBlocks).
-func (c *Campaign) Run(blocks []iputil.Block24) *Result {
+// loadReporter is the slice of probe.Instrumented the campaign needs for
+// progress events; declared locally so the coupling stays structural.
+type loadReporter interface {
+	Pings() int64
+	Probes() int64
+}
+
+// campaignMetrics caches the telemetry handles workers write to.
+type campaignMetrics struct {
+	measured  *telemetry.Counter
+	classes   map[Class]*telemetry.Counter
+	probed    *telemetry.Histogram
+	responded *telemetry.Histogram
+}
+
+func (c *Campaign) metrics() campaignMetrics {
+	reg := c.Telemetry
+	m := campaignMetrics{
+		measured:  reg.Counter("campaign/blocks_measured"),
+		classes:   make(map[Class]*telemetry.Counter),
+		probed:    reg.Histogram("campaign/probed_per_block", []int64{8, 16, 32, 64, 128, 256}),
+		responded: reg.Histogram("campaign/responded_per_block", []int64{4, 8, 16, 32, 64, 128, 256}),
+	}
+	for _, cls := range []Class{
+		ClassTooFewActive, ClassUnresponsiveLastHop,
+		ClassSameLastHop, ClassNonHierarchical, ClassHierarchical,
+	} {
+		m.classes[cls] = reg.Counter("campaign/class/" + cls.String())
+	}
+	return m
+}
+
+func (c *Campaign) stage() string {
+	if c.Stage != "" {
+		return c.Stage
+	}
+	return "measure"
+}
+
+// Run measures the given blocks (typically Dataset.EligibleBlocks),
+// checking ctx between blocks: on cancellation it stops handing out work,
+// drains the in-flight blocks, and returns the partial Result together
+// with ctx.Err(). A nil error means every block was measured.
+func (c *Campaign) Run(ctx context.Context, blocks []iputil.Block24) (*Result, error) {
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -87,6 +139,9 @@ func (c *Campaign) Run(blocks []iputil.Block24) *Result {
 		Blocks: make(map[iputil.Block24]*BlockResult, len(blocks)),
 		Order:  append([]iputil.Block24(nil), blocks...),
 	}
+	met := c.metrics()
+	load, _ := c.Measurer.Net.(loadReporter)
+
 	type item struct {
 		b  iputil.Block24
 		br *BlockResult
@@ -100,20 +155,49 @@ func (c *Campaign) Run(blocks []iputil.Block24) *Result {
 			defer wg.Done()
 			for b := range in {
 				br := c.Measurer.MeasureBlock(b, c.Dataset.ActivesBy26(b))
+				met.measured.Inc()
+				met.classes[br.Class].Inc()
+				met.probed.Observe(int64(br.Probed))
+				met.responded.Observe(int64(br.Responded))
 				out <- item{b: b, br: &br}
 			}
 		}()
 	}
 	go func() {
+		defer func() {
+			close(in)
+			wg.Wait()
+			close(out)
+		}()
 		for _, b := range blocks {
-			in <- b
+			select {
+			case in <- b:
+			case <-ctx.Done():
+				return
+			}
 		}
-		close(in)
-		wg.Wait()
-		close(out)
 	}()
+
+	var classes map[string]int
+	if c.Progress != nil {
+		classes = make(map[string]int)
+	}
 	for it := range out {
 		res.Blocks[it.b] = it.br
+		if c.Progress != nil {
+			classes[it.br.Class.String()]++
+			ev := telemetry.ProgressEvent{
+				Stage:   c.stage(),
+				Done:    len(res.Blocks),
+				Total:   len(blocks),
+				Classes: classes,
+			}
+			if load != nil {
+				ev.Pings = load.Pings()
+				ev.Probes = load.Probes()
+			}
+			c.Progress.Emit(ev)
+		}
 	}
-	return res
+	return res, ctx.Err()
 }

@@ -1,11 +1,13 @@
 package hobbit
 
 import (
+	"context"
 	"testing"
 
 	"github.com/hobbitscan/hobbit/internal/iputil"
 	"github.com/hobbitscan/hobbit/internal/netsim"
 	"github.com/hobbitscan/hobbit/internal/probe"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
 	"github.com/hobbitscan/hobbit/internal/zmap"
 )
 
@@ -33,7 +35,10 @@ func TestCampaignAgainstGroundTruth(t *testing.T) {
 	if len(eligible) < 200 {
 		t.Fatalf("only %d eligible blocks", len(eligible))
 	}
-	res := c.Run(eligible)
+	res, err := c.Run(context.Background(), eligible)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sum := res.Summary()
 	if sum.Total != len(eligible) {
 		t.Fatalf("summary total = %d, want %d", sum.Total, len(eligible))
@@ -220,11 +225,91 @@ func TestOrderCoversAllActives(t *testing.T) {
 	}
 }
 
+// TestCampaignTelemetry runs an instrumented campaign with many workers —
+// the -race half of the concurrent-registry guarantee — and checks the
+// accounting against the result.
+func TestCampaignTelemetry(t *testing.T) {
+	w, c, eligible := campaignWorld(t, 400)
+	if len(eligible) > 120 {
+		eligible = eligible[:120]
+	}
+	reg := telemetry.NewRegistry()
+	c.Telemetry = reg
+	c.Workers = 8
+	c.Measurer.Net = probe.Instrument(probe.NewSimNetwork(w), reg, "measure")
+	var events int
+	var last telemetry.ProgressEvent
+	c.Progress = telemetry.SinkFunc(func(ev telemetry.ProgressEvent) {
+		events++
+		last = ev
+	})
+	res, err := c.Run(context.Background(), eligible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summary()
+	snap := reg.Snapshot()
+	if got := snap.Counters["campaign/blocks_measured"]; got != int64(sum.Total) {
+		t.Errorf("blocks_measured = %d, summary total = %d", got, sum.Total)
+	}
+	for cls, n := range sum.Counts {
+		if got := snap.Counters["campaign/class/"+cls.String()]; got != int64(n) {
+			t.Errorf("class counter %v = %d, summary = %d", cls, got, n)
+		}
+	}
+	if snap.Histograms["campaign/probed_per_block"].Count != int64(sum.Total) {
+		t.Errorf("histogram count = %d, want %d",
+			snap.Histograms["campaign/probed_per_block"].Count, sum.Total)
+	}
+	if events != len(eligible) {
+		t.Errorf("progress events = %d, want %d", events, len(eligible))
+	}
+	if last.Done != len(eligible) || last.Total != len(eligible) || last.Stage != "measure" {
+		t.Errorf("final event = %+v", last)
+	}
+	if last.Probes == 0 || last.Pings == 0 {
+		t.Errorf("final event missing probe load: %+v", last)
+	}
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	_, c, eligible := campaignWorld(t, 400)
+	if len(eligible) < 20 {
+		t.Fatalf("only %d eligible blocks", len(eligible))
+	}
+	c.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	done := 0
+	c.Progress = telemetry.SinkFunc(func(telemetry.ProgressEvent) {
+		if done++; done == 3 {
+			cancel()
+		}
+	})
+	res, err := c.Run(ctx, eligible)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Blocks) == 0 {
+		t.Error("partial result lost")
+	}
+	if len(res.Blocks) == len(eligible) {
+		t.Error("campaign ran to completion despite cancellation")
+	}
+	// The partial result stays consistent: every measured block is in
+	// Order, and the class accessors skip unmeasured ones.
+	if got := len(res.HomogeneousBlocks()); got > len(res.Blocks) {
+		t.Errorf("HomogeneousBlocks returned %d of %d measured", got, len(res.Blocks))
+	}
+}
+
 func TestCampaignDeterministic(t *testing.T) {
 	_, c1, elig1 := campaignWorld(t, 250)
 	_, c2, elig2 := campaignWorld(t, 250)
-	r1 := c1.Run(elig1[:50])
-	r2 := c2.Run(elig2[:50])
+	r1, err1 := c1.Run(context.Background(), elig1[:50])
+	r2, err2 := c2.Run(context.Background(), elig2[:50])
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
 	for b, br1 := range r1.Blocks {
 		br2 := r2.Blocks[b]
 		if br2 == nil || br1.Class != br2.Class || len(br1.LastHops) != len(br2.LastHops) {

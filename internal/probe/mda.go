@@ -79,9 +79,13 @@ func MDA(net Network, dst iputil.Addr, opts MDAOptions) MDAResult {
 	// hops[i][f] is the interface flow f observed at TTL FirstTTL+i.
 	var hopRows [][]trace.Hop
 	var salt uint32
+	retryObs, _ := net.(ProbeRetryObserver)
 	probeOnce := func(ttl int, flow uint16) Result {
 		for attempt := 0; ; attempt++ {
 			salt++
+			if attempt > 0 && retryObs != nil {
+				retryObs.RecordProbeRetry()
+			}
 			r := net.Probe(dst, ttl, flow, salt)
 			if r.Kind != NoReply || attempt >= opts.Retries {
 				return r

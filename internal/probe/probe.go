@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
 )
 
 // Kind classifies a probe outcome.
@@ -54,34 +55,113 @@ type Network interface {
 	Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) Result
 }
 
-// Counter wraps a Network and counts probes, for the measurement-load
-// accounting the paper reports (64.45M destinations probed).
-type Counter struct {
-	Net    Network
-	pings  atomic.Int64
-	probes atomic.Int64
+// Instrumented wraps a Network with the measurement-load accounting the
+// paper reports (64.45M destinations probed): echo requests, TTL-limited
+// probes, and retransmissions, both as flat totals and — when a telemetry
+// registry is attached — as per-stage counters ("probe/<stage>/pings",
+// "probe/<stage>/probes", "probe/<stage>/ping_retries",
+// "probe/<stage>/probe_retries"), so census, measurement, and reprobe
+// validation load stay attributable after a run.
+//
+// Instrumented is safe for concurrent use whenever the wrapped Network is;
+// SetStage may be called between pipeline stages but not concurrently with
+// in-flight probes of the old stage.
+type Instrumented struct {
+	net   Network
+	reg   *telemetry.Registry
+	stage atomic.Pointer[stageCounters]
+
+	pings        atomic.Int64
+	probes       atomic.Int64
+	pingRetries  atomic.Int64
+	probeRetries atomic.Int64
 }
 
-// NewCounter wraps net with probe accounting.
-func NewCounter(net Network) *Counter { return &Counter{Net: net} }
+// stageCounters caches the per-stage registry handles so hot-path probes
+// do not take the registry lock.
+type stageCounters struct {
+	name         string
+	pings        *telemetry.Counter
+	probes       *telemetry.Counter
+	pingRetries  *telemetry.Counter
+	probeRetries *telemetry.Counter
+}
 
-// Ping implements Network.
-func (c *Counter) Ping(dst iputil.Addr, seq int) (PingResult, bool) {
-	c.pings.Add(1)
-	return c.Net.Ping(dst, seq)
+// Instrument wraps net with probe accounting attributed to the given
+// stage. A nil registry keeps the flat totals only.
+func Instrument(net Network, reg *telemetry.Registry, stage string) *Instrumented {
+	n := &Instrumented{net: net, reg: reg}
+	n.SetStage(stage)
+	return n
+}
+
+// NewCounter wraps net with flat probe accounting and no registry — the
+// historical Counter behaviour, kept for call sites that only want totals.
+func NewCounter(net Network) *Instrumented { return Instrument(net, nil, "") }
+
+// SetStage switches the stage new probes are attributed to.
+func (n *Instrumented) SetStage(stage string) {
+	sc := &stageCounters{name: stage}
+	if n.reg != nil {
+		sc.pings = n.reg.Counter("probe/" + stage + "/pings")
+		sc.probes = n.reg.Counter("probe/" + stage + "/probes")
+		sc.pingRetries = n.reg.Counter("probe/" + stage + "/ping_retries")
+		sc.probeRetries = n.reg.Counter("probe/" + stage + "/probe_retries")
+	}
+	n.stage.Store(sc)
+}
+
+// Stage returns the stage probes are currently attributed to.
+func (n *Instrumented) Stage() string { return n.stage.Load().name }
+
+// Ping implements Network. A seq greater than zero marks a retry of an
+// unanswered echo request (see FindLastHops' attempt loop).
+func (n *Instrumented) Ping(dst iputil.Addr, seq int) (PingResult, bool) {
+	n.pings.Add(1)
+	sc := n.stage.Load()
+	sc.pings.Inc()
+	if seq > 0 {
+		n.pingRetries.Add(1)
+		sc.pingRetries.Inc()
+	}
+	return n.net.Ping(dst, seq)
 }
 
 // Probe implements Network.
-func (c *Counter) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) Result {
-	c.probes.Add(1)
-	return c.Net.Probe(dst, ttl, flowID, salt)
+func (n *Instrumented) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) Result {
+	n.probes.Add(1)
+	n.stage.Load().probes.Inc()
+	return n.net.Probe(dst, ttl, flowID, salt)
+}
+
+// RecordProbeRetry implements ProbeRetryObserver: MDA reports each
+// retransmission of an unanswered TTL-limited probe here (the probe itself
+// also passes through Probe, so retries are a subset of the probe total,
+// mirroring how ping retries relate to the ping total).
+func (n *Instrumented) RecordProbeRetry() {
+	n.probeRetries.Add(1)
+	n.stage.Load().probeRetries.Inc()
 }
 
 // Pings returns the number of echo requests sent.
-func (c *Counter) Pings() int64 { return c.pings.Load() }
+func (n *Instrumented) Pings() int64 { return n.pings.Load() }
 
 // Probes returns the number of TTL-limited probes sent.
-func (c *Counter) Probes() int64 { return c.probes.Load() }
+func (n *Instrumented) Probes() int64 { return n.probes.Load() }
+
+// PingRetries returns how many echo requests were retries.
+func (n *Instrumented) PingRetries() int64 { return n.pingRetries.Load() }
+
+// ProbeRetries returns how many TTL-limited probes were retransmissions.
+func (n *Instrumented) ProbeRetries() int64 { return n.probeRetries.Load() }
+
+// ProbeRetryObserver is implemented by Networks that want to know when a
+// prober retransmits an unanswered TTL-limited probe; retries are
+// indistinguishable from fresh probes at the Probe call itself (salt is a
+// free-running nonce), so the prober reports them explicitly.
+type ProbeRetryObserver interface {
+	RecordProbeRetry()
+}
 
 // InferDefaultTTL buckets a received echo-reply TTL into the assumed
 // default TTL of the destination host, per Section 3.4: < 64 → 64,

@@ -5,12 +5,20 @@ import (
 
 	"github.com/hobbitscan/hobbit/internal/iputil"
 	"github.com/hobbitscan/hobbit/internal/netsim"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
 )
 
 func simWorld(t *testing.T, n int) (*netsim.World, *SimNetwork) {
+	return simWorldCfg(t, n, nil)
+}
+
+func simWorldCfg(t *testing.T, n int, mutate func(*netsim.Config)) (*netsim.World, *SimNetwork) {
 	t.Helper()
 	cfg := netsim.DefaultConfig(n)
 	cfg.BigBlockScale = 0.02
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	w, err := netsim.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -262,15 +270,85 @@ func TestFindLastHopsUnresponsiveLastHop(t *testing.T) {
 	}
 }
 
-func TestCounter(t *testing.T) {
+func TestInstrumented(t *testing.T) {
+	_, net := simWorld(t, 100)
+	reg := telemetry.NewRegistry()
+	c := Instrument(net, reg, "measure")
+	dst := iputil.MustParseAddr("1.0.0.1")
+	c.Ping(dst, 0)
+	c.Ping(dst, 1) // a retry: seq > 0
+	c.Probe(dst, 3, 1, 1)
+	c.Probe(dst, 4, 1, 2)
+	c.RecordProbeRetry()
+	if c.Pings() != 2 || c.Probes() != 2 {
+		t.Errorf("counts = %d pings, %d probes", c.Pings(), c.Probes())
+	}
+	if c.PingRetries() != 1 || c.ProbeRetries() != 1 {
+		t.Errorf("retries = %d ping, %d probe", c.PingRetries(), c.ProbeRetries())
+	}
+
+	// Per-stage attribution: switching stages moves new probes to fresh
+	// counters while the flat totals keep accumulating.
+	c.SetStage("validate")
+	if c.Stage() != "validate" {
+		t.Errorf("stage = %q", c.Stage())
+	}
+	c.Probe(dst, 5, 1, 3)
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		"probe/measure/pings":         2,
+		"probe/measure/ping_retries":  1,
+		"probe/measure/probes":        2,
+		"probe/measure/probe_retries": 1,
+		"probe/validate/probes":       1,
+	}
+	for name, n := range want {
+		if snap.Counters[name] != n {
+			t.Errorf("%s = %d, want %d", name, snap.Counters[name], n)
+		}
+	}
+	if c.Probes() != 3 {
+		t.Errorf("flat probe total = %d, want 3", c.Probes())
+	}
+}
+
+func TestNewCounterNoRegistry(t *testing.T) {
 	_, net := simWorld(t, 100)
 	c := NewCounter(net)
 	dst := iputil.MustParseAddr("1.0.0.1")
 	c.Ping(dst, 0)
 	c.Probe(dst, 3, 1, 1)
-	c.Probe(dst, 4, 1, 2)
-	if c.Pings() != 1 || c.Probes() != 2 {
+	if c.Pings() != 1 || c.Probes() != 1 {
 		t.Errorf("counts = %d pings, %d probes", c.Pings(), c.Probes())
+	}
+}
+
+// TestMDAReportsRetries drives MDA over a lossy network and checks that
+// retransmissions reach the instrumented wrapper.
+func TestMDAReportsRetries(t *testing.T) {
+	w, _ := simWorldCfg(t, 200, func(c *netsim.Config) { c.PRateLimit = 0.3 })
+	c := Instrument(NewSimNetwork(w), telemetry.NewRegistry(), "measure")
+	probed := 0
+	for _, b := range w.Blocks() {
+		for i := 1; i < 255 && probed < 40; i++ {
+			if a := b.Addr(i); w.RespondsNow(a) {
+				MDA(c, a, MDAOptions{})
+				probed++
+			}
+		}
+		if probed >= 40 {
+			break
+		}
+	}
+	if c.Probes() == 0 {
+		t.Fatal("no probes recorded")
+	}
+	if c.ProbeRetries() == 0 {
+		t.Error("rate-limited network produced no recorded retries")
+	}
+	if c.ProbeRetries() >= c.Probes() {
+		t.Errorf("retries %d should be a strict subset of probes %d",
+			c.ProbeRetries(), c.Probes())
 	}
 }
 

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// HistogramSnapshot is the frozen state of one Histogram.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bucket bounds; Counts has one extra
+	// trailing overflow bucket.
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+}
+
+// SpanSnapshot is the frozen state of one stage span.
+type SpanSnapshot struct {
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"duration_ms"`
+	Running    bool    `json:"running,omitempty"`
+}
+
+// Snapshot is the frozen state of a whole registry. Counters, gauges, and
+// histograms hold only measurement-load state and are deterministic for a
+// fixed seed; Stages hold wall-clock timings and are not. Consumers that
+// need byte-identical output across same-seed runs (regression checks on
+// measurement load) should compare MarshalCounters, which excludes
+// timings.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Stages     []SpanSnapshot               `json:"stages,omitempty"`
+}
+
+// Snapshot freezes the registry. Safe to call at any time, including while
+// instrumented stages are still running. A nil registry yields an empty
+// (but non-nil-map) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Counters: map[string]int64{}}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	if len(gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(gauges))
+		for k, g := range gauges {
+			snap.Gauges[k] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for k, h := range hists {
+			snap.Histograms[k] = h.snapshot()
+		}
+	}
+	snap.Stages = r.Spans()
+	return snap
+}
+
+// MarshalCounters renders the deterministic part of the registry —
+// counters, gauges, and histograms, with timings excluded — as canonical
+// JSON (encoding/json sorts map keys). Two same-seed runs of the pipeline
+// must produce byte-identical output here; it doubles as a regression
+// check on measurement load.
+func (r *Registry) MarshalCounters() ([]byte, error) {
+	snap := r.Snapshot()
+	snap.Stages = nil
+	return json.Marshal(snap)
+}
+
+// ServeHTTP serves the full registry snapshot as JSON, making *Registry an
+// http.Handler for live inspection of a running measurement (`hobbit
+// -metrics-addr`).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(r.Snapshot())
+}

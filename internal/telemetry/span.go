@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Span is one named pipeline stage with wall-clock timing. Spans are
+// created by Registry.StartSpan and closed with End; a span that is never
+// ended reports the time elapsed so far, so a snapshot taken mid-run still
+// shows where the pipeline is spending its time. A nil Span is a no-op.
+type Span struct {
+	name  string
+	start time.Time
+	durNS atomic.Int64 // 0 while running
+	done  atomic.Bool
+}
+
+// StartSpan opens a named stage span and registers it in creation order.
+// The same name may be started more than once (repeated stages each get
+// their own span).
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return s
+}
+
+// End closes the span and returns its duration. Ending twice keeps the
+// first duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.done.CompareAndSwap(false, true) {
+		s.durNS.Store(int64(time.Since(s.start)))
+	}
+	return time.Duration(s.durNS.Load())
+}
+
+// Name returns the span's stage name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's wall-clock duration: final if ended,
+// elapsed-so-far otherwise.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.done.Load() {
+		return time.Duration(s.durNS.Load())
+	}
+	return time.Since(s.start)
+}
+
+// Spans returns a snapshot of all spans in start order.
+func (r *Registry) Spans() []SpanSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	spans := append([]*Span(nil), r.spans...)
+	r.mu.Unlock()
+	out := make([]SpanSnapshot, len(spans))
+	for i, s := range spans {
+		out[i] = SpanSnapshot{
+			Name:       s.Name(),
+			DurationMS: float64(s.Duration()) / float64(time.Millisecond),
+			Running:    !s.done.Load(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+// Package telemetry is the observability layer of the measurement
+// pipeline: a concurrency-safe metrics registry (counters, gauges, bounded
+// histograms), named pipeline-stage spans with wall-clock timing, and a
+// progress-event sink. The paper's campaign is fundamentally a
+// load-accounting exercise — 64.45M destinations probed, per-class block
+// tallies, per-stage costs — and this package is where that accounting
+// lives for every stage of the reproduction.
+//
+// All instrument handles and the registry itself are nil-safe: a nil
+// *Registry hands out nil instruments whose methods are no-ops, so
+// instrumented code never branches on "is telemetry enabled". Counter
+// state is deterministic for a fixed seed; wall-clock state (spans) is
+// kept separate so snapshots can exclude it (see Snapshot).
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. The zero value is
+// ready to use; a nil Counter discards updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 metric. A nil Gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the current value (0 for a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a bounded histogram over int64 observations (latencies in
+// microseconds, sizes in probes, …). Observations are bucketed by the
+// inclusive upper bounds given at creation, with one implicit overflow
+// bucket, so memory stays fixed no matter how many values arrive. A nil
+// Histogram discards observations.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []int64 // inclusive upper bounds, ascending
+	counts []int64 // len(bounds)+1; last is overflow
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// newHistogram builds a histogram with the given inclusive upper bounds.
+func newHistogram(bounds []int64) *Histogram {
+	cp := append([]int64(nil), bounds...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return &Histogram{bounds: cp, counts: make([]int64, len(cp)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations (0 for a nil Histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations (0 for a nil Histogram).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshotLocked returns a copy of the histogram state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+}
+
+// Registry is a concurrency-safe collection of named instruments. Looking
+// up a name that does not exist yet creates the instrument, so callers
+// hold handles rather than strings on hot paths. A nil *Registry is a
+// valid no-op registry: every lookup returns a nil instrument.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    []*Span
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// inclusive upper bucket bounds on first use (later calls may pass nil
+// bounds to mean "whatever it was created with").
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("probes")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("probes") != c {
+		t.Error("second lookup returned a different counter")
+	}
+	g := r.Gauge("inflation_milli")
+	g.Set(1800)
+	if got := g.Value(); got != 1800 {
+		t.Errorf("gauge = %d, want 1800", got)
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	r.Gauge("g").Set(3)
+	h := r.Histogram("h", []int64{1, 2})
+	h.Observe(7)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram accumulated")
+	}
+	s := r.StartSpan("census")
+	if d := s.End(); d != 0 {
+		t.Errorf("nil span duration = %v", d)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || snap.Stages != nil {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("probed_per_block", []int64{4, 8, 16})
+	for _, v := range []int64{1, 4, 5, 9, 100} {
+		h.Observe(v)
+	}
+	snap := h.snapshot()
+	wantCounts := []int64{2, 1, 1, 1} // <=4, <=8, <=16, overflow
+	for i, w := range wantCounts {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%+v)", i, snap.Counts[i], w, snap)
+		}
+	}
+	if snap.Count != 5 || snap.Sum != 119 || snap.Min != 1 || snap.Max != 100 {
+		t.Errorf("summary stats wrong: %+v", snap)
+	}
+}
+
+func TestSpanTiming(t *testing.T) {
+	r := NewRegistry()
+	s := r.StartSpan("measure")
+	time.Sleep(time.Millisecond)
+	d := s.End()
+	if d <= 0 {
+		t.Errorf("duration = %v", d)
+	}
+	if again := s.End(); again != d {
+		t.Errorf("second End changed the duration: %v != %v", again, d)
+	}
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Name != "measure" || spans[0].Running {
+		t.Errorf("spans = %+v", spans)
+	}
+	// A still-running span reports elapsed time in snapshots.
+	open := r.StartSpan("validate")
+	if r.Spans()[1].Name != "validate" || !r.Spans()[1].Running {
+		t.Errorf("open span not reported running: %+v", r.Spans())
+	}
+	open.End()
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("b/probes").Add(10)
+		r.Counter("a/pings").Add(3)
+		r.Gauge("inflation").Set(2)
+		h := r.Histogram("sizes", []int64{2, 8})
+		h.Observe(1)
+		h.Observe(5)
+		r.StartSpan("census").End() // timing must be excluded
+		return r
+	}
+	j1, err := build().MarshalCounters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := build().MarshalCounters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("counter snapshots differ:\n%s\n%s", j1, j2)
+	}
+	if strings.Contains(string(j1), "stages") {
+		t.Errorf("counter snapshot leaked timings: %s", j1)
+	}
+}
+
+// TestConcurrentRegistry exercises the registry the way campaign workers
+// do — many goroutines resolving and bumping the same names — and is the
+// unit-level half of the -race guarantee.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("campaign/blocks_measured").Inc()
+				r.Histogram("campaign/probed_per_block", []int64{4, 16, 64}).Observe(int64(i))
+				r.Gauge("campaign/last").Set(int64(i))
+				sp := r.StartSpan("hot")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("campaign/blocks_measured").Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("campaign/probed_per_block", nil).Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("census/scan_pings").Add(42)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if snap.Counters["census/scan_pings"] != 42 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestLineSinkThrottle(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewLineSink(&buf, 10)
+	for i := 1; i <= 25; i++ {
+		s.Emit(ProgressEvent{
+			Stage: "measure", Done: i, Total: 25,
+			Classes: map[string]int{"Same last-hop router": i},
+			Pings:   int64(i), Probes: int64(2 * i),
+		})
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Done=1 (first), 10, 20, and 25 (final) should print.
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	last := lines[len(lines)-1]
+	for _, want := range []string{"measure: 25/25", "Same last-hop router=25", "pings=25", "probes=50"} {
+		if !strings.Contains(last, want) {
+			t.Errorf("final line %q missing %q", last, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math/bits"
 
 	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
 )
 
 // Scanner answers a census-time echo request. netsim.World satisfies this
@@ -31,19 +32,35 @@ func NewDataset() *Dataset {
 // Scan sweeps every address of the given blocks through the scanner and
 // records responders.
 func Scan(s Scanner, blocks []iputil.Block24) *Dataset {
+	return ScanObserved(s, blocks, nil)
+}
+
+// ScanObserved is Scan with census-load accounting: it records the echo
+// requests sent, the responders found, and the blocks with any activity
+// under "census/…" counters in reg (nil reg keeps the plain behaviour).
+func ScanObserved(s Scanner, blocks []iputil.Block24, reg *telemetry.Registry) *Dataset {
+	scanPings := reg.Counter("census/scan_pings")
+	responders := reg.Counter("census/responders")
+	activeBlocks := reg.Counter("census/active_blocks")
+	activePerBlock := reg.Histogram("census/active_per_block", []int64{4, 16, 64, 256})
+
 	d := NewDataset()
 	for _, b := range blocks {
 		var bm [4]uint64
-		any := false
+		active := 0
+		scanPings.Add(256)
 		for i := 0; i < 256; i++ {
 			if s.ScanPing(b.Addr(i)) {
 				bm[i>>6] |= 1 << uint(i&63)
-				any = true
+				active++
 			}
 		}
-		if any {
+		if active > 0 {
 			cp := bm
 			d.active[b] = &cp
+			responders.Add(int64(active))
+			activeBlocks.Inc()
+			activePerBlock.Observe(int64(active))
 		}
 	}
 	return d

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 gate: everything must pass before a change lands.
+# The -race leg covers the concurrent campaign workers writing into the
+# shared telemetry registry.
+set -ex
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/hobbit ./internal/telemetry
