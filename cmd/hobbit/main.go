@@ -100,6 +100,7 @@ func run(ctx context.Context, rc runConfig) error {
 	if rc.metricsAddr != "" {
 		srv := &http.Server{Addr: rc.metricsAddr, Handler: reg}
 		defer srv.Close()
+		//lint:ignore bare-go metrics server lives for the whole process; srv.Close above unblocks it on return
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "hobbit: metrics server:", err)

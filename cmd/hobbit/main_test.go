@@ -120,19 +120,19 @@ func TestRunJSONShape(t *testing.T) {
 	}
 	// …and per-stage probe/ping counts consistent with the flat totals.
 	c := s.Telemetry.Counters
-	if c["probe/measure/probes"] == 0 || c["probe/measure/pings"] == 0 {
+	if c["probe.measure.probes"] == 0 || c["probe.measure.pings"] == 0 {
 		t.Errorf("measure-stage probe counters empty: %v", c)
 	}
-	if got := c["probe/measure/probes"] + c["probe/validate/probes"]; got != s.Probes {
+	if got := c["probe.measure.probes"] + c["probe.validate.probes"]; got != s.Probes {
 		t.Errorf("per-stage probes %d != total %d", got, s.Probes)
 	}
-	if got := c["probe/measure/pings"] + c["probe/validate/pings"]; got != s.Pings {
+	if got := c["probe.measure.pings"] + c["probe.validate.pings"]; got != s.Pings {
 		t.Errorf("per-stage pings %d != total %d", got, s.Pings)
 	}
-	if c["campaign/blocks_measured"] != int64(s.Eligible) {
-		t.Errorf("blocks_measured %d != eligible %d", c["campaign/blocks_measured"], s.Eligible)
+	if c["campaign.blocks_measured"] != int64(s.Eligible) {
+		t.Errorf("blocks_measured %d != eligible %d", c["campaign.blocks_measured"], s.Eligible)
 	}
-	if s.Telemetry.Histograms["campaign/probed_per_block"].Count != int64(s.Eligible) {
+	if s.Telemetry.Histograms["campaign.probed_per_block"].Count != int64(s.Eligible) {
 		t.Errorf("probed_per_block histogram = %+v", s.Telemetry.Histograms)
 	}
 }

@@ -92,7 +92,7 @@ func main() {
 		fmt.Printf("  %-10s %7.0fms\n", s.Name, s.DurationMS)
 	}
 	fmt.Printf("  measure: %d probes (%d retries), validate: %d probes\n",
-		snap.Counters["probe/measure/probes"],
-		snap.Counters["probe/measure/probe_retries"],
-		snap.Counters["probe/validate/probes"])
+		snap.Counters["probe.measure.probes"],
+		snap.Counters["probe.measure.probe_retries"],
+		snap.Counters["probe.validate.probes"])
 }

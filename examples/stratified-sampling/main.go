@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
 
 	"github.com/hobbitscan/hobbit/internal/core"
 	"github.com/hobbitscan/hobbit/internal/iputil"
@@ -59,13 +60,23 @@ func main() {
 	fmt.Printf("Time Warner population: %d addresses in %d Hobbit blocks, %d host-type schemes\n\n",
 		len(population), len(strata), countSchemes(population))
 
+	// Iterate strata in sorted-id order: the sequential rng below consumes
+	// one draw per stratum, so map order would change which addresses are
+	// sampled from run to run.
+	ids := make([]int, 0, len(strata))
+	for id := range strata {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
 	rng := rand.New(rand.NewSource(1))
 	const reps = 25
 	var stratSum, randSum float64
 	n := len(strata)
 	for r := 0; r < reps; r++ {
 		var stratified []iputil.Addr
-		for _, addrs := range strata {
+		for _, id := range ids {
+			addrs := strata[id]
 			stratified = append(stratified, addrs[rng.Intn(len(addrs))])
 		}
 		stratSum += float64(countSchemes(stratified))

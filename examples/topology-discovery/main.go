@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
 
 	"github.com/hobbitscan/hobbit/internal/core"
 	"github.com/hobbitscan/hobbit/internal/iputil"
@@ -94,7 +95,15 @@ func main() {
 		})
 		groups[blockOf[b]] = append(groups[blockOf[b]], traces[b]...)
 	}
-	for _, sets := range groups {
+	// Group ids in sorted order: the shuffles and the round-robin draw
+	// below must visit groups identically run to run.
+	gids := make([]int, 0, len(groups))
+	for id := range groups {
+		gids = append(gids, id)
+	}
+	sort.Ints(gids)
+	for _, id := range gids {
+		sets := groups[id]
 		rng.Shuffle(len(sets), func(i, j int) { sets[i], sets[j] = sets[j], sets[i] })
 	}
 
@@ -111,7 +120,8 @@ func main() {
 		var perHobbit []*trace.PathSet
 		for round := 0; len(perHobbit) < len(per24); round++ {
 			advanced := false
-			for _, sets := range groups {
+			for _, id := range gids {
+				sets := groups[id]
 				if round < len(sets) && len(perHobbit) < len(per24) {
 					perHobbit = append(perHobbit, sets[round])
 					advanced = true

@@ -87,7 +87,7 @@ type Pipeline struct {
 	MCL mcl.Options
 	// Seed drives deterministic pair sampling during validation.
 	Seed uint64
-	// Telemetry receives "cluster/…" counters and gauges; nil disables
+	// Telemetry receives "cluster.…" counters and gauges; nil disables
 	// it.
 	Telemetry *telemetry.Registry
 }
@@ -176,14 +176,14 @@ func (p *Pipeline) Run(blocks []*aggregate.Block) *Result {
 	_ = singles
 
 	reg := p.Telemetry
-	reg.Counter("cluster/aggregates_in").Add(int64(len(blocks)))
-	reg.Counter("cluster/graph_edges").Add(int64(g.NumEdges()))
-	reg.Counter("cluster/components").Add(int64(len(comps)))
-	reg.Counter("cluster/multi_components").Add(int64(len(multi)))
-	reg.Counter("cluster/clusters").Add(int64(len(res.Clusters)))
-	reg.Counter("cluster/unclustered").Add(int64(len(res.Unclustered)))
+	reg.Counter("cluster.aggregates_in").Add(int64(len(blocks)))
+	reg.Counter("cluster.graph_edges").Add(int64(g.NumEdges()))
+	reg.Counter("cluster.components").Add(int64(len(comps)))
+	reg.Counter("cluster.multi_components").Add(int64(len(multi)))
+	reg.Counter("cluster.clusters").Add(int64(len(res.Clusters)))
+	reg.Counter("cluster.unclustered").Add(int64(len(res.Unclustered)))
 	// Gauges are int64; store the inflation scaled by 1000.
-	reg.Gauge("cluster/chosen_inflation_milli").Set(int64(best * 1000))
+	reg.Gauge("cluster.chosen_inflation_milli").Set(int64(best * 1000))
 	return res
 }
 

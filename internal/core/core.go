@@ -137,7 +137,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 	span := reg.StartSpan(StageCensus)
 	out.Dataset = zmap.ScanObserved(p.Scanner, p.Blocks, reg)
 	out.Eligible = out.Dataset.EligibleBlocks(p.Blocks, p.minActive())
-	reg.Counter("census/eligible_blocks").Add(int64(len(out.Eligible)))
+	reg.Counter("census.eligible_blocks").Add(int64(len(out.Eligible)))
 	span.End()
 	if err := ctx.Err(); err != nil {
 		return out, err
@@ -163,8 +163,8 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 	span = reg.StartSpan(StageAggregate)
 	homogeneous := out.Campaign.HomogeneousBlocks()
 	out.Aggregates = aggregate.Identical(homogeneous)
-	reg.Counter("aggregate/homogeneous_in").Add(int64(len(homogeneous)))
-	reg.Counter("aggregate/blocks_out").Add(int64(len(out.Aggregates)))
+	reg.Counter("aggregate.homogeneous_in").Add(int64(len(homogeneous)))
+	reg.Counter("aggregate.blocks_out").Add(int64(len(out.Aggregates)))
 	span.End()
 	if p.SkipClustering {
 		out.Final = out.Aggregates
@@ -186,10 +186,10 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 	defer span.End()
 	p.setStage(StageValidate)
 	rp := &exhaustiveReprober{m: p.newMeasurer(true), ds: out.Dataset}
-	pairsChecked := reg.Counter("validate/pairs_checked")
-	identicalPairs := reg.Counter("validate/identical_pairs")
-	reprobed := reg.Counter("validate/blocks_reprobed")
-	accepted := reg.Counter("validate/clusters_validated")
+	pairsChecked := reg.Counter("validate.pairs_checked")
+	identicalPairs := reg.Counter("validate.identical_pairs")
+	reprobed := reg.Counter("validate.blocks_reprobed")
+	accepted := reg.Counter("validate.clusters_validated")
 	out.Validations = make(map[int]cluster.Validation, len(out.Clustering.Clusters))
 	validated := make(map[int]bool)
 	for _, c := range out.Clustering.Clusters {
@@ -213,7 +213,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 	}
 	out.Validated = validated
 	out.Final = cluster.ApplyValidated(out.Clustering, validated)
-	reg.Counter("validate/final_blocks").Add(int64(len(out.Final)))
+	reg.Counter("validate.final_blocks").Add(int64(len(out.Final)))
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"testing"
 
 	"github.com/hobbitscan/hobbit/internal/netsim"
@@ -192,6 +193,36 @@ func TestPipelineTelemetryDeterministic(t *testing.T) {
 	}
 }
 
+// TestPipelineOutputDeterministic is the determinism regression check the
+// lint suite exists to protect: two full same-seed pipeline runs over two
+// same-seed worlds must serialize to byte-identical JSON — block lists,
+// cluster validations, everything an operator would diff between runs.
+func TestPipelineOutputDeterministic(t *testing.T) {
+	run := func() []byte {
+		_, p := testPipeline(t, 300)
+		p.Workers = 4 // concurrency must not leak into the result
+		out, err := p.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := json.Marshal(struct {
+			Eligible    interface{}
+			Aggregates  interface{}
+			Validations interface{}
+			Validated   interface{}
+			Final       interface{}
+		}{out.Eligible, out.Aggregates, out.Validations, out.Validated, out.Final})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	j1, j2 := run(), run()
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("same-seed pipeline outputs differ:\n%.400s\n%.400s", j1, j2)
+	}
+}
+
 // TestPipelineTelemetryCoverage checks that one instrumented run populates
 // every stage span and the load counters of each stage.
 func TestPipelineTelemetryCoverage(t *testing.T) {
@@ -217,10 +248,10 @@ func TestPipelineTelemetryCoverage(t *testing.T) {
 		}
 	}
 	for _, c := range []string{
-		"census/scan_pings", "census/responders", "census/eligible_blocks",
-		"campaign/blocks_measured",
-		"probe/measure/pings", "probe/measure/probes",
-		"aggregate/blocks_out", "cluster/components",
+		"census.scan_pings", "census.responders", "census.eligible_blocks",
+		"campaign.blocks_measured",
+		"probe.measure.pings", "probe.measure.probes",
+		"aggregate.blocks_out", "cluster.components",
 	} {
 		if snap.Counters[c] == 0 {
 			t.Errorf("counter %s is zero", c)
@@ -228,14 +259,14 @@ func TestPipelineTelemetryCoverage(t *testing.T) {
 	}
 	// Reprobe load is attributed to the validate stage (when any cluster
 	// needed validation at this scale).
-	if snap.Counters["validate/pairs_checked"] > 0 && snap.Counters["probe/validate/probes"] == 0 {
+	if snap.Counters["validate.pairs_checked"] > 0 && snap.Counters["probe.validate.probes"] == 0 {
 		t.Error("validation reprobes not attributed to the validate stage")
 	}
-	if snap.Histograms["campaign/probed_per_block"].Count == 0 {
+	if snap.Histograms["campaign.probed_per_block"].Count == 0 {
 		t.Error("probed_per_block histogram empty")
 	}
-	if snap.Counters["campaign/blocks_measured"] != snap.Counters["census/eligible_blocks"] {
+	if snap.Counters["campaign.blocks_measured"] != snap.Counters["census.eligible_blocks"] {
 		t.Errorf("measured %d blocks of %d eligible",
-			snap.Counters["campaign/blocks_measured"], snap.Counters["census/eligible_blocks"])
+			snap.Counters["campaign.blocks_measured"], snap.Counters["census.eligible_blocks"])
 	}
 }

@@ -28,6 +28,7 @@ func staticJudge(groups map[iputil.Addr][]iputil.Addr) bool {
 		iputil.SortAddrs(cp)
 		gs = append(gs, hobbit.Group{LastHop: lh, Addrs: cp})
 	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i].LastHop < gs[j].LastHop })
 	if len(gs) == 1 {
 		return len(gs[0].Addrs) >= 6
 	}

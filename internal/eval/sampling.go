@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"sort"
+
 	"github.com/hobbitscan/hobbit/internal/iputil"
 	"github.com/hobbitscan/hobbit/internal/metadata"
 	"github.com/hobbitscan/hobbit/internal/rng"
@@ -22,7 +24,8 @@ func runFig12(l *Lab) (*Report, error) {
 	}
 
 	// The Time Warner population: its measured /24s and their final
-	// Hobbit blocks.
+	// Hobbit blocks. Stratum ids are iterated in sorted order below so the
+	// sample is identical run to run.
 	twcASN := 11351
 	var population []iputil.Addr
 	strata := make(map[int][]iputil.Addr)
@@ -48,13 +51,20 @@ func runFig12(l *Lab) (*Report, error) {
 	allSchemes := countSchemes(l, population)
 	n := len(strata) // stratified sample size: one per Hobbit block
 
+	ids := make([]int, 0, len(strata))
+	for id := range strata {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
 	const reps = 25
 	stratMean := 0.0
 	randMeans := map[int]float64{1: 0, 2: 0, 4: 0}
 	for rep := 0; rep < reps; rep++ {
 		// Stratified: one random address per stratum.
 		var sample []iputil.Addr
-		for id, addrs := range strata {
+		for _, id := range ids {
+			addrs := strata[id]
 			sample = append(sample, addrs[rng.Intn(len(addrs), l.Seed, uint64(id), uint64(rep), 0xa1)])
 		}
 		stratMean += float64(countSchemes(l, sample))

@@ -20,7 +20,7 @@ type Campaign struct {
 	Dataset *zmap.Dataset
 	// Workers bounds concurrency; 0 uses GOMAXPROCS.
 	Workers int
-	// Telemetry receives per-block accounting ("campaign/…" counters and
+	// Telemetry receives per-block accounting ("campaign.…" counters and
 	// histograms); nil disables it.
 	Telemetry *telemetry.Registry
 	// Progress receives a ProgressEvent after every measured block; nil
@@ -105,16 +105,16 @@ type campaignMetrics struct {
 func (c *Campaign) metrics() campaignMetrics {
 	reg := c.Telemetry
 	m := campaignMetrics{
-		measured:  reg.Counter("campaign/blocks_measured"),
+		measured:  reg.Counter("campaign.blocks_measured"),
 		classes:   make(map[Class]*telemetry.Counter),
-		probed:    reg.Histogram("campaign/probed_per_block", []int64{8, 16, 32, 64, 128, 256}),
-		responded: reg.Histogram("campaign/responded_per_block", []int64{4, 8, 16, 32, 64, 128, 256}),
+		probed:    reg.Histogram("campaign.probed_per_block", []int64{8, 16, 32, 64, 128, 256}),
+		responded: reg.Histogram("campaign.responded_per_block", []int64{4, 8, 16, 32, 64, 128, 256}),
 	}
 	for _, cls := range []Class{
 		ClassTooFewActive, ClassUnresponsiveLastHop,
 		ClassSameLastHop, ClassNonHierarchical, ClassHierarchical,
 	} {
-		m.classes[cls] = reg.Counter("campaign/class/" + cls.String())
+		m.classes[cls] = reg.Counter("campaign.class." + cls.MetricName())
 	}
 	return m
 }

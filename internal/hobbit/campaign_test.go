@@ -249,17 +249,17 @@ func TestCampaignTelemetry(t *testing.T) {
 	}
 	sum := res.Summary()
 	snap := reg.Snapshot()
-	if got := snap.Counters["campaign/blocks_measured"]; got != int64(sum.Total) {
+	if got := snap.Counters["campaign.blocks_measured"]; got != int64(sum.Total) {
 		t.Errorf("blocks_measured = %d, summary total = %d", got, sum.Total)
 	}
 	for cls, n := range sum.Counts {
-		if got := snap.Counters["campaign/class/"+cls.String()]; got != int64(n) {
+		if got := snap.Counters["campaign.class."+cls.MetricName()]; got != int64(n) {
 			t.Errorf("class counter %v = %d, summary = %d", cls, got, n)
 		}
 	}
-	if snap.Histograms["campaign/probed_per_block"].Count != int64(sum.Total) {
+	if snap.Histograms["campaign.probed_per_block"].Count != int64(sum.Total) {
 		t.Errorf("histogram count = %d, want %d",
-			snap.Histograms["campaign/probed_per_block"].Count, sum.Total)
+			snap.Histograms["campaign.probed_per_block"].Count, sum.Total)
 	}
 	if events != len(eligible) {
 		t.Errorf("progress events = %d, want %d", events, len(eligible))

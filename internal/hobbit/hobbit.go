@@ -46,6 +46,26 @@ func (c Class) String() string {
 	}
 }
 
+// MetricName renders the class as a snake_case telemetry metric segment
+// (the display String above has spaces and capitals, which the
+// stage.metric_name convention forbids).
+func (c Class) MetricName() string {
+	switch c {
+	case ClassTooFewActive:
+		return "too_few_active"
+	case ClassUnresponsiveLastHop:
+		return "unresponsive_last_hop"
+	case ClassSameLastHop:
+		return "same_last_hop"
+	case ClassNonHierarchical:
+		return "non_hierarchical"
+	case ClassHierarchical:
+		return "hierarchical"
+	default:
+		return "unknown"
+	}
+}
+
 // Homogeneous reports whether the class counts as homogeneous.
 func (c Class) Homogeneous() bool {
 	return c == ClassSameLastHop || c == ClassNonHierarchical

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AnalyzerBareGo flags `go` statements whose goroutine is not visibly
+// joined. The repo's concurrency idiom is the WaitGroup-managed worker
+// pool (hobbit.Campaign.Run): every spawned goroutine either defers
+// wg.Done() or owns the pool shutdown (calls wg.Wait()). A bare `go`
+// outside that pattern has unbounded lifetime — it can outlive the
+// pipeline run, keep writing telemetry after a snapshot, or leak under
+// test — so it must either adopt the pattern or carry an explicit
+// //lint:ignore bare-go justification.
+var AnalyzerBareGo = &Analyzer{
+	Name: "bare-go",
+	Doc: "flag go statements outside the WaitGroup worker-pool pattern " +
+		"(defer wg.Done() in the goroutine, or the goroutine owns " +
+		"wg.Wait()); unjoined goroutines have unbounded lifetime",
+	Run: runBareGo,
+}
+
+func runBareGo(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok && joinsPool(lit.Body) {
+				return true
+			}
+			report(g.Pos(), "bare go statement outside the worker-pool pattern; goroutine lifetime "+
+				"is unbounded — defer wg.Done() inside it, make it own wg.Wait(), or justify "+
+				"with //lint:ignore bare-go <reason>")
+			return true
+		})
+	}
+}
+
+// joinsPool reports whether the goroutine body participates in a joined
+// pool: it defers a .Done() (worker) or calls .Wait() (pool owner /
+// dispatcher that drains the workers before exiting).
+func joinsPool(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if selCallNamed(x.Call, "Done") {
+				found = true
+				return false
+			}
+			// A deferred closure may hold the teardown sequence.
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok && containsCallNamed(lit.Body, "Wait") {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if selCallNamed(x, "Wait") {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func selCallNamed(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name
+}
+
+func containsCallNamed(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && selCallNamed(call, name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// AnalyzerCtxLoop keeps cancellation honored: a function that accepts a
+// context.Context promises its callers responsiveness, so its long-running
+// loops (and those of the closures it spawns) must consult the context.
+// PR 1 threaded ctx through the pipeline precisely so a cancelled run
+// stops between blocks; a new worker loop that forgets the check silently
+// revokes that guarantee.
+//
+// Heuristic for "long-running": the loop is infinite, performs raw
+// channel sends/receives, or calls an operation whose name marks blocking
+// measurement work (Measure*, Probe*, Scan*, Wait, Read…). Loops ranging
+// over a channel are exempt — closing the channel propagates shutdown.
+var AnalyzerCtxLoop = &Analyzer{
+	Name: "ctx-loop",
+	Doc: "require a ctx.Err()/ctx.Done() check inside long-running loops " +
+		"of functions that accept a context.Context, so cancellation " +
+		"keeps working as worker loops are added",
+	Run: runCtxLoop,
+}
+
+// blockingCallRE marks callee names that plausibly block or do unbounded
+// work per iteration.
+var blockingCallRE = regexp.MustCompile(`^(Measure|Probe|Ping|Scan|Reprobe|Exchange|Dial|Accept|Acquire|Wait|Sleep|Recv|Receive|Read|Write|Flush|Run|Do|Process|Handle)`)
+
+func runCtxLoop(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxVars := contextParams(p, fd)
+			if len(ctxVars) == 0 {
+				continue
+			}
+			checkLoopsIn(p, fd.Body, ctxVars, report)
+		}
+	}
+}
+
+// contextParams returns the context.Context parameter objects of the
+// function, resolved through the type checker.
+func contextParams(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return vars
+	}
+	for _, field := range fd.Type.Params.List {
+		t := p.TypeOf(field.Type)
+		if t == nil || t.String() != "context.Context" {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.ObjectOf(name); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// checkLoopsIn walks a function (or closure) body, examining every loop.
+// Closures are followed because goroutines spawned with the captured ctx
+// inherit the same obligation.
+func checkLoopsIn(p *Pass, body ast.Node, ctxVars map[types.Object]bool, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			checkLoop(p, loop, loop.Body, loop.Cond == nil, ctxVars, report)
+		case *ast.RangeStmt:
+			if t := p.TypeOf(loop.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					return true
+				}
+			}
+			checkLoop(p, loop, loop.Body, false, ctxVars, report)
+		}
+		return true
+	})
+}
+
+func checkLoop(p *Pass, loop ast.Node, body *ast.BlockStmt, infinite bool, ctxVars map[types.Object]bool, report func(pos token.Pos, format string, args ...any)) {
+	usesCtx := false
+	blocking := ""
+	hasChanOp := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			// Spawning a goroutine (or arming a defer) is not work the
+			// loop iteration blocks on; the goroutine's own loops are
+			// examined separately.
+			return false
+		case *ast.Ident:
+			if obj := p.ObjectOf(x); obj != nil && ctxVars[obj] {
+				usesCtx = true
+			}
+		case *ast.SendStmt:
+			hasChanOp = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				hasChanOp = true
+			}
+		case *ast.CallExpr:
+			if blocking == "" {
+				if name := calleeName(x); name != "" && blockingCallRE.MatchString(name) {
+					blocking = name
+				}
+			}
+		}
+		return true
+	})
+	if usesCtx {
+		return
+	}
+	switch {
+	case infinite:
+		report(loop.Pos(), "infinite loop in a context-aware function never checks the context; "+
+			"add a ctx.Err()/ctx.Done() check per iteration")
+	case hasChanOp:
+		report(loop.Pos(), "loop in a context-aware function blocks on channel operations without a "+
+			"ctx.Done() case; cancellation would hang here")
+	case blocking != "":
+		report(loop.Pos(), "loop in a context-aware function does blocking work (%s) without checking "+
+			"ctx.Err()/ctx.Done(); cancellation stalls until the loop ends", blocking)
+	}
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

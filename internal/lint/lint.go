@@ -1,0 +1,256 @@
+// Package lint is a Hobbit-specific static-analysis suite built directly
+// on the standard library's go/parser, go/ast, and go/types (the repo's
+// zero-dependency rule keeps golang.org/x/tools out). Its analyzers
+// machine-check the invariants the reproduction depends on — same-seed
+// runs must stay byte-identical — so regressions like global math/rand
+// state, output fed from unsorted map iteration, or wall-clock reads in
+// algorithm paths fail the tier-1 gate instead of waiting for review.
+//
+// A finding can be silenced in place with a directive comment on, or
+// immediately above, the offending line:
+//
+//	//lint:ignore <analyzer-name> <reason>
+//
+// or for a whole file (used sparingly, e.g. the raw-socket backend):
+//
+//	//lint:file-ignore <analyzer-name> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diagnostic is one finding, rendered as "file:line: [name] message".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	// Doc is the one-paragraph description DESIGN.md mirrors.
+	Doc string
+	// Run inspects the package and reports findings.
+	Run func(p *Pass, report func(pos token.Pos, format string, args ...any))
+}
+
+// Pass hands one loaded package to an analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	// Path is the package import path; ModulePath the enclosing module.
+	Path       string
+	ModulePath string
+	// Files are type-checked non-test files; TestFiles are parsed-only
+	// _test.go files (Info does not cover them).
+	Files     []*ast.File
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	Info      *types.Info
+}
+
+// TypeOf returns the type of an expression, or nil when unknown (test
+// files, unresolved code).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if o := p.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// PkgFuncCall resolves a call of the form pkg.Func to the imported
+// package's path and the function name. Type information is used when
+// available; otherwise (test files) the file's import table resolves the
+// package identifier syntactically. It returns "", "" for anything else.
+func (p *Pass) PkgFuncCall(f *ast.File, call *ast.CallExpr) (pkgPath, funcName string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if obj := p.ObjectOf(id); obj != nil {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path(), sel.Sel.Name
+		}
+		return "", ""
+	}
+	// Syntactic fallback: match the identifier against the import table.
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		} else {
+			name = path[strings.LastIndex(path, "/")+1:]
+		}
+		if name == id.Name {
+			return path, sel.Sel.Name
+		}
+	}
+	return "", ""
+}
+
+// Suite is the default analyzer set, in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerNondetermRand,
+		AnalyzerNondetermMapRange,
+		AnalyzerWallclock,
+		AnalyzerCtxLoop,
+		AnalyzerTelemetryNames,
+		AnalyzerMutexCopy,
+		AnalyzerBareGo,
+	}
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics (suppressions applied), sorted by position.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		pass := &Pass{
+			Fset:       l.Fset,
+			Path:       pkg.Path,
+			ModulePath: l.ModulePath,
+			Files:      pkg.Files,
+			TestFiles:  pkg.TestFiles,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+		}
+		sup := newSuppressions(l.Fset, append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...))
+		diags = append(diags, sup.malformed...)
+		for _, a := range analyzers {
+			a := a
+			report := func(pos token.Pos, format string, args ...any) {
+				position := l.Fset.Position(pos)
+				if sup.suppressed(a.Name, position) {
+					return
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      position,
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			a.Run(pass, report)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// suppressions indexes //lint:ignore and //lint:file-ignore directives.
+type suppressions struct {
+	// lines maps file -> analyzer -> suppressed lines.
+	lines map[string]map[string]map[int]bool
+	// files maps file -> analyzer suppressed for the whole file.
+	files     map[string]map[string]bool
+	malformed []Diagnostic
+}
+
+func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{
+		lines: map[string]map[string]map[int]bool{},
+		files: map[string]map[string]bool{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				var fileWide bool
+				switch {
+				case strings.HasPrefix(text, "lint:ignore"):
+					text = strings.TrimPrefix(text, "lint:ignore")
+				case strings.HasPrefix(text, "lint:file-ignore"):
+					text = strings.TrimPrefix(text, "lint:file-ignore")
+					fileWide = true
+				default:
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint-directive",
+						Message:  "malformed lint directive: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				name := fields[0]
+				if fileWide {
+					byName := s.files[pos.Filename]
+					if byName == nil {
+						byName = map[string]bool{}
+						s.files[pos.Filename] = byName
+					}
+					byName[name] = true
+					continue
+				}
+				byName := s.lines[pos.Filename]
+				if byName == nil {
+					byName = map[string]map[int]bool{}
+					s.lines[pos.Filename] = byName
+				}
+				if byName[name] == nil {
+					byName[name] = map[int]bool{}
+				}
+				// The directive covers its own line and the next one, so
+				// it works both trailing and standalone-above.
+				end := fset.Position(c.End()).Line
+				byName[name][end] = true
+				byName[name][end+1] = true
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	if s.files[pos.Filename][analyzer] {
+		return true
+	}
+	return s.lines[pos.Filename][analyzer][pos.Line]
+}

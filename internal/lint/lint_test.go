@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the fixture expected.txt files")
+
+// TestFixtures runs the full analyzer suite over every fixture package
+// under testdata/src and compares the rendered diagnostics against the
+// package's expected.txt golden. Regenerate goldens with
+//
+//	go test ./internal/lint -run TestFixtures -update
+func TestFixtures(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", name)
+			pkgs, err := loader.Load(filepath.Join("internal", "lint", dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("loaded %d packages, want 1", len(pkgs))
+			}
+			for _, terr := range pkgs[0].TypeErrors {
+				t.Errorf("fixture does not type-check: %v", terr)
+			}
+			var got bytes.Buffer
+			for _, d := range Run(loader, pkgs, Suite()) {
+				fmt.Fprintf(&got, "%s:%d: [%s] %s\n",
+					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+			}
+			golden := filepath.Join(dir, "expected.txt")
+			if *update {
+				if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s",
+					golden, got.String(), want)
+			}
+		})
+	}
+}
+
+// TestSuiteNames pins the analyzer set: DESIGN.md documents one
+// subsection per name, and tier1.sh gates on all of them.
+func TestSuiteNames(t *testing.T) {
+	want := []string{
+		"nondeterm-rand", "nondeterm-maprange", "wallclock",
+		"ctx-loop", "telemetry-names", "mutex-copy", "bare-go",
+	}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, parsed, and (when possible) type-checked package
+// directory, the unit the analyzers operate on.
+type Package struct {
+	// Path is the import path (derived from the module path and the
+	// directory, so packages under testdata get a path too).
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+	// Files are the build-constrained non-test files, parsed with
+	// comments.
+	Files []*ast.File
+	// TestFiles are the package's _test.go files. They are parsed but not
+	// type-checked; analyzers that inspect them fall back to syntactic
+	// resolution.
+	TestFiles []*ast.File
+	// Types and Info carry the type-checker results for Files. Types is
+	// nil for test-only packages.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors are non-fatal type-checking problems (the analyzers
+	// still run on whatever was resolved).
+	TypeErrors []error
+}
+
+// Loader loads module packages with the standard library toolchain only:
+// go/parser for syntax, go/types for semantics, and one `go list -export`
+// invocation to locate compiled export data for dependencies (the stdlib
+// replacement for golang.org/x/tools/go/packages).
+type Loader struct {
+	// ModuleRoot is the directory holding go.mod; ModulePath its module
+	// declaration.
+	ModuleRoot string
+	ModulePath string
+
+	Fset *token.FileSet
+
+	exports map[string]string // import path -> export data file
+	gc      types.Importer    // shared so all packages see one type identity per path
+}
+
+// NewLoader locates the enclosing module starting from dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module declaration in %s/go.mod", root)
+	}
+	l := &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		Fset:       token.NewFileSet(),
+		exports:    map[string]string{},
+	}
+	// One importer for the loader's lifetime: the gc importer caches the
+	// packages it reads, so every analyzed package resolves a given import
+	// path to the same *types.Package and cross-package type identities
+	// hold.
+	l.gc = importer.ForCompiler(l.Fset, "gc", func(p string) (io.ReadCloser, error) {
+		f, ok := l.exports[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(f)
+	})
+	return l, nil
+}
+
+// Load expands the given package patterns ("./...", "dir/...", plain
+// directories) relative to the loader's module root, parses every matched
+// package, and type-checks the non-test files.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	importSet := map[string]bool{}
+	for _, dir := range dirs {
+		p, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue
+		}
+		for _, f := range append(append([]*ast.File{}, p.Files...), p.TestFiles...) {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || path == "unsafe" || path == "C" {
+					continue
+				}
+				importSet[path] = true
+			}
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := l.ensureExports(importSet); err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		l.typeCheck(p)
+	}
+	return pkgs, nil
+}
+
+// expand turns patterns into package directories. The `...` wildcard walks
+// subdirectories, skipping hidden directories and — unless the pattern
+// itself points inside one — testdata trees, matching the go tool's
+// behaviour.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(l.ModuleRoot, root)
+		}
+		root = filepath.Clean(root)
+		fi, err := os.Stat(root)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", pat, err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("lint: %s is not a directory", pat)
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		inTestdata := strings.Contains(root+string(filepath.Separator), string(filepath.Separator)+"testdata"+string(filepath.Separator))
+		err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if !inTestdata && name == "testdata" {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the buildable Go files of one directory. It returns nil
+// when the directory holds no Go package.
+func (l *Loader) parseDir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	p := &Package{Dir: dir, Path: l.importPath(dir)}
+	pkgName := ""
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if ok, err := ctxt.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			p.TestFiles = append(p.TestFiles, f)
+			continue
+		}
+		// A directory holds one non-test package; ignore stray files of
+		// another package (e.g. tooling artifacts) rather than failing.
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name == pkgName {
+			p.Files = append(p.Files, f)
+		}
+	}
+	if len(p.Files) == 0 && len(p.TestFiles) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// importPath derives the import path of a directory under the module root.
+func (l *Loader) importPath(dir string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Export     string
+}
+
+// ensureExports runs `go list -export` once for every import path the
+// parsed sources mention that is not yet resolved, building the
+// path -> export-data map the type-checker imports through.
+func (l *Loader) ensureExports(imports map[string]bool) error {
+	var missing []string
+	for path := range imports {
+		if _, ok := l.exports[path]; !ok {
+			missing = append(missing, path)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleRoot
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("lint: go list -export: %v\n%s", err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// Import implements types.Importer over the export-data map.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return l.gc.Import(path)
+}
+
+// typeCheck resolves types for the package's non-test files. Errors are
+// recorded, not fatal: analyzers still run over the syntax, with type
+// information for whatever did resolve.
+func (l *Loader) typeCheck(p *Package) {
+	if len(p.Files) == 0 {
+		return
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	pkg, _ := conf.Check(p.Path, l.Fset, p.Files, info)
+	p.Types = pkg
+	p.Info = info
+}

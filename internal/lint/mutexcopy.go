@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerMutexCopy flags by-value copies of structs that contain sync
+// primitives. A copied mutex is a fork of the lock state: both copies
+// unlock independently and the guarded invariant silently evaporates —
+// exactly the kind of bug the campaign's shared telemetry registry would
+// surface only under -race, far from the copy site.
+var AnalyzerMutexCopy = &Analyzer{
+	Name: "mutex-copy",
+	Doc: "flag by-value receivers, parameters, results, assignments, and " +
+		"range variables of struct types containing sync primitives; " +
+		"locks must be shared by pointer, never forked by copy",
+	Run: runMutexCopy,
+}
+
+func runMutexCopy(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+	memo := map[types.Type]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(p, x, memo, report)
+			case *ast.AssignStmt:
+				for _, rhs := range x.Rhs {
+					if copiesLock(p, rhs, memo) {
+						report(rhs.Pos(), "assignment copies a %s by value; it contains a sync "+
+							"primitive — share it by pointer", typeLabel(p.TypeOf(rhs)))
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					if t := p.TypeOf(x.Value); t != nil && hasLock(t, memo) {
+						report(x.Value.Pos(), "range copies each %s element by value; it contains a "+
+							"sync primitive — iterate by index or store pointers", typeLabel(t))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkFuncSig(p *Pass, fd *ast.FuncDecl, memo map[types.Type]bool, report func(pos token.Pos, format string, args ...any)) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if hasLock(t, memo) {
+				report(field.Type.Pos(), "%s %s is passed by value and contains a sync primitive; "+
+					"use a pointer", what, typeLabel(t))
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+}
+
+// copiesLock reports whether evaluating the expression copies an existing
+// lock-bearing value. Construction (composite literals, function calls)
+// is fine; reading a variable, field, element, or dereference is a copy.
+func copiesLock(p *Pass, e ast.Expr, memo map[types.Type]bool) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return false
+	}
+	t := p.TypeOf(e)
+	return t != nil && hasLock(t, memo)
+}
+
+// hasLock reports whether the type (or anything it embeds) is a sync
+// primitive that must not be copied after first use.
+func hasLock(t types.Type, memo map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := memo[t]; ok {
+		return v
+	}
+	memo[t] = false // cycle guard
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				result = true
+			}
+		}
+		if !result {
+			result = hasLock(u.Underlying(), memo)
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasLock(u.Field(i).Type(), memo) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = hasLock(u.Elem(), memo)
+	}
+	memo[t] = result
+	return result
+}
+
+func typeLabel(t types.Type) string {
+	if t == nil {
+		return "value"
+	}
+	return t.String()
+}

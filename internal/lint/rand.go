@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// globalRandFuncs are the math/rand (and v2) package-level functions that
+// draw from shared global state: call order across goroutines decides the
+// values, so concurrency scheduling leaks into results.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32N": true, "Int64N": true,
+	"UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+// AnalyzerNondetermRand forbids math/rand global state and wall-clock
+// seeding. The simulator's randomness must be a pure function of the run
+// seed (internal/rng keys every draw), so the same seed replays the same
+// world regardless of goroutine scheduling; math/rand's package-level
+// functions and time-seeded sources both break that.
+var AnalyzerNondetermRand = &Analyzer{
+	Name: "nondeterm-rand",
+	Doc: "forbid math/rand package-level functions everywhere and " +
+		"time-seeded rand sources; deterministic paths draw through " +
+		"internal/rng or a constant-seeded local *rand.Rand",
+	Run: runNondetermRand,
+}
+
+func runNondetermRand(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+	// internal/rng is the sanctioned randomness layer and internal/netsim
+	// constructs its worlds from a locally seeded generator; both stay
+	// subject to the time-seeding check but may touch math/rand freely.
+	allowGlobal := p.Path == p.ModulePath+"/internal/rng" ||
+		p.Path == p.ModulePath+"/internal/netsim"
+	for _, f := range append(append([]*ast.File{}, p.Files...), p.TestFiles...) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, fn := p.PkgFuncCall(f, call)
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				return true
+			}
+			if globalRandFuncs[fn] && !allowGlobal {
+				report(call.Pos(), "rand.%s draws from math/rand's shared global state; "+
+					"use internal/rng keyed draws or a locally seeded *rand.Rand", fn)
+				return true
+			}
+			if (fn == "New" || fn == "NewSource" || fn == "NewPCG" || fn == "NewChaCha8") && wallClockSeeded(p, f, call) {
+				report(call.Pos(), "rand.%s seeded from the wall clock is unreproducible; "+
+					"derive the seed from the run configuration", fn)
+			}
+			return true
+		})
+	}
+}
+
+// wallClockSeeded reports whether any argument of the call reads the wall
+// clock (time.Now and friends) to build the seed.
+func wallClockSeeded(p *Pass, f *ast.File, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, fn := p.PkgFuncCall(f, inner); pkg == "time" && (fn == "Now" || fn == "Since" || fn == "Until") {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerTelemetryNames enforces the metric naming convention for
+// telemetry registrations: dotted snake_case with a stage prefix
+// ("census.scan_pings", "probe.measure.pings"). Snapshot JSON sorts by
+// metric name, so a consistent, stable spelling is what keeps same-seed
+// snapshot diffs readable and regression-comparable across PRs.
+var AnalyzerTelemetryNames = &Analyzer{
+	Name: "telemetry-names",
+	Doc: "enforce the stage.metric_name snake-case convention for " +
+		"Counter/Gauge/Histogram registrations so snapshot diffs stay " +
+		"stable and greppable",
+	Run: runTelemetryNames,
+}
+
+// metricNameRE is the full-name convention: at least two dot-separated
+// snake_case segments, each starting with a letter.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+
+// metricFragmentRE constrains the literal parts of concatenated names
+// ("probe." + stage + ".pings"): only the convention's alphabet.
+var metricFragmentRE = regexp.MustCompile(`^[a-z0-9_.]+$`)
+
+func runTelemetryNames(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+	for _, f := range append(append([]*ast.File{}, p.Files...), p.TestFiles...) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			if !isRegistryRecv(p, sel.X) {
+				return true
+			}
+			checkMetricName(call.Args[0], sel.Sel.Name, report)
+			return true
+		})
+	}
+}
+
+// isRegistryRecv reports whether the receiver expression is a
+// *telemetry.Registry. In test files (no type info) any receiver counts;
+// the method-name triple is distinctive enough there.
+func isRegistryRecv(p *Pass, recv ast.Expr) bool {
+	t := p.TypeOf(recv)
+	if t == nil {
+		return true
+	}
+	s := strings.TrimPrefix(t.String(), "*")
+	return strings.HasSuffix(s, "/internal/telemetry.Registry")
+}
+
+func checkMetricName(arg ast.Expr, kind string, report func(pos token.Pos, format string, args ...any)) {
+	switch e := arg.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return
+		}
+		name, err := strconv.Unquote(e.Value)
+		if err != nil {
+			return
+		}
+		if !metricNameRE.MatchString(name) {
+			report(e.Pos(), "%s name %q violates the stage.metric_name convention "+
+				"(dotted snake_case, e.g. \"census.scan_pings\")", kind, name)
+		}
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD {
+			return
+		}
+		sawDot := false
+		for _, lit := range literalFragments(e) {
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				continue
+			}
+			if !metricFragmentRE.MatchString(name) {
+				report(lit.Pos(), "%s name fragment %q violates the stage.metric_name convention "+
+					"(dotted snake_case)", kind, name)
+				return
+			}
+			if strings.Contains(name, ".") {
+				sawDot = true
+			}
+		}
+		if !sawDot {
+			report(e.Pos(), "%s name built without a '.' separator; the convention is "+
+				"stage.metric_name", kind)
+		}
+	}
+}
+
+// literalFragments collects the string literals of a concatenation chain.
+func literalFragments(e ast.Expr) []*ast.BasicLit {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		if x.Kind == token.STRING {
+			return []*ast.BasicLit{x}
+		}
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD {
+			return append(literalFragments(x.X), literalFragments(x.Y)...)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package baregopkg is a lint fixture: goroutines outside the
+// WaitGroup worker-pool pattern, plus the pattern itself.
+package baregopkg
+
+import "sync"
+
+// Fire spawns goroutines nothing ever joins: both flagged.
+func Fire() {
+	go background()
+	go func() {
+		background()
+	}()
+}
+
+// Pool is the sanctioned idiom: workers defer wg.Done, the dispatcher
+// owns wg.Wait. Neither is flagged.
+func Pool(n int) {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			background()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	<-done
+}
+
+func background() {}

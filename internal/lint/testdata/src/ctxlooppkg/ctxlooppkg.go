@@ -1,0 +1,52 @@
+// Package ctxlooppkg is a lint fixture: long-running loops inside
+// context-aware functions, with and without cancellation checks.
+package ctxlooppkg
+
+import "context"
+
+// Forever never consults ctx: flagged.
+func Forever(ctx context.Context) {
+	for {
+		work()
+	}
+}
+
+// Polite checks ctx.Err each iteration: not flagged.
+func Polite(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+// Drain ranges over a channel; closing it propagates shutdown: not
+// flagged.
+func Drain(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// Sends blocks on channel sends without a ctx.Done case: flagged.
+func Sends(ctx context.Context, ch chan<- int) {
+	for i := 0; i < 100; i++ {
+		ch <- i
+	}
+}
+
+// Blocking does per-iteration blocking work without checking ctx:
+// flagged.
+func Blocking(ctx context.Context, items []int) {
+	for range items {
+		Process()
+	}
+}
+
+func work() {}
+
+// Process stands in for a blocking measurement call.
+func Process() {}

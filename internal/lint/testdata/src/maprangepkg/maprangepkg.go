@@ -1,0 +1,53 @@
+// Package maprangepkg is a lint fixture: order-sensitive sinks fed from
+// randomized map iteration, plus the recognized-safe forms.
+package maprangepkg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Collect appends map keys without sorting: flagged.
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CollectSorted sorts right after the loop: not flagged.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Print writes output in map order: flagged.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// LocalOnly appends to a per-iteration local: not flagged.
+func LocalOnly(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		cp := append([]int(nil), vs...)
+		total += len(cp)
+	}
+	return total
+}
+
+// Reindex stores into another map (keyed, order-free): not flagged.
+func Reindex(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		out[k] = append([]int(nil), vs...)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+// Package mutexcopypkg is a lint fixture: by-value copies of a struct
+// carrying a sync primitive, plus the sanctioned pointer forms.
+package mutexcopypkg
+
+import "sync"
+
+// Guarded embeds a mutex, so every by-value copy forks the lock state.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue takes the struct by value: flagged (parameter).
+func ByValue(g Guarded) int {
+	return g.n
+}
+
+// Get has a by-value receiver: flagged (receiver).
+func (g Guarded) Get() int {
+	return g.n
+}
+
+// Clone dereferences into a copy: flagged (assignment).
+func Clone(src *Guarded) int {
+	cp := *src
+	return cp.n
+}
+
+// Sum ranges by value over lock-bearing elements: flagged (range).
+func Sum(gs []Guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}
+
+// Read shares by pointer: not flagged.
+func Read(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}

@@ -1,0 +1,24 @@
+// Package randpkg is a lint fixture: math/rand global state and
+// wall-clock seeding, plus the sanctioned constant-seeded form.
+package randpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Draw uses the shared global generator: flagged.
+func Draw() int {
+	return rand.Intn(10)
+}
+
+// Seeded builds a generator from the wall clock: flagged (and the
+// time.Now read itself trips the wallclock analyzer).
+func Seeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// Constant is the sanctioned form: a locally seeded generator.
+func Constant() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}

@@ -1,0 +1,19 @@
+// Package suppresspkg is a lint fixture for the directive syntax:
+// a well-formed //lint:ignore silences the finding on the next line,
+// a reason-less directive is itself reported (and silences nothing).
+package suppresspkg
+
+import "time"
+
+// Stamp is suppressed by a well-formed directive: no finding.
+func Stamp() time.Time {
+	//lint:ignore wallclock fixture demonstrates the suppression syntax
+	return time.Now()
+}
+
+// Bad carries a directive without a reason: the directive is reported
+// as lint-directive and the wallclock finding still fires.
+func Bad() time.Time {
+	//lint:ignore wallclock
+	return time.Now()
+}

@@ -1,0 +1,16 @@
+package telemetrypkg
+
+import "testing"
+
+// fakeReg checks the syntactic fallback: test files carry no type info,
+// so any Counter/Gauge/Histogram receiver is held to the convention.
+type fakeReg struct{}
+
+func (fakeReg) Counter(name string) int { return 0 }
+
+func TestNames(t *testing.T) {
+	var r fakeReg
+	if r.Counter("bad/name") != 0 { // flagged via syntactic fallback
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,20 @@
+// Package wallclockpkg is a lint fixture: wall-clock reads in a package
+// that is neither telemetry, a cmd, nor the raw-socket backend.
+package wallclockpkg
+
+import "time"
+
+// Stamp reads the wall clock: flagged.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Elapsed measures real time: flagged.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Fixed uses an absolute constant instant: not flagged.
+func Fixed() time.Time {
+	return time.Unix(0, 0)
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// AnalyzerWallclock forbids wall-clock reads outside the places that
+// legitimately measure elapsed real time. Snapshots of a same-seed run
+// must be byte-identical (telemetry.MarshalCounters is a regression
+// check), so algorithm paths must never branch on or record time.Now.
+//
+// Allowlisted:
+//   - internal/telemetry: the one place wall-clock state lives (spans),
+//     kept out of deterministic snapshots by design;
+//   - cmd/*: operator-facing binaries may report elapsed time;
+//   - internal/probe/icmp_linux.go: the raw-socket backend computes real
+//     socket deadlines against the live network — there is no replayable
+//     run to protect there (see the file's header comment).
+var AnalyzerWallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since/time.Until outside internal/telemetry, " +
+		"cmd/*, and the raw-socket probe backend; wall-clock reads in " +
+		"algorithm paths break replayable snapshots",
+	Run: runWallclock,
+}
+
+// wallclockAllowedFiles are individual files (module-relative, slash
+// separated) excepted from the check.
+var wallclockAllowedFiles = map[string]bool{
+	// The live ICMP backend derives kernel socket deadlines from the real
+	// clock; it probes the actual Internet, where replayability is
+	// impossible by construction, and it stays off every simulated path.
+	"internal/probe/icmp_linux.go": true,
+}
+
+func runWallclock(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+	if p.Path == p.ModulePath+"/internal/telemetry" ||
+		strings.HasPrefix(p.Path, p.ModulePath+"/cmd/") {
+		return
+	}
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if rel := moduleRelative(p, name); wallclockAllowedFiles[rel] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, fn := p.PkgFuncCall(f, call); pkg == "time" && (fn == "Now" || fn == "Since" || fn == "Until") {
+				report(call.Pos(), "time.%s in an algorithm path breaks same-seed replayability; "+
+					"time through telemetry spans or accept a clock from the caller", fn)
+			}
+			return true
+		})
+	}
+}
+
+// moduleRelative renders a file position path relative to the module root
+// guess embedded in the package path, tolerating both absolute and
+// already-relative positions.
+func moduleRelative(p *Pass, filename string) string {
+	filename = filepath.ToSlash(filename)
+	// The package path tail identifies the directory; join with the base
+	// name so per-file allowlists are stable however the loader was
+	// invoked.
+	if rel, ok := strings.CutPrefix(p.Path, p.ModulePath+"/"); ok {
+		return rel + "/" + filepath.Base(filename)
+	}
+	return filepath.Base(filename)
+}

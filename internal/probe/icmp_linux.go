@@ -140,10 +140,12 @@ func (n *ICMPNetwork) exchangeEcho(dst iputil.Addr, ident, seq uint16) (PingResu
 	if _, err := n.conn.WriteTo(echoRequest(ident, seq), addr); err != nil {
 		return PingResult{}, false
 	}
-	deadline := start.Add(n.Timeout)
+	// One absolute deadline, set once: the kernel enforces it for every
+	// read, and the loop condition uses monotonic elapsed time instead of
+	// re-reading the wall clock per iteration.
+	n.conn.SetReadDeadline(start.Add(n.Timeout))
 	buf := make([]byte, 1500)
-	for time.Now().Before(deadline) {
-		n.conn.SetReadDeadline(deadline)
+	for time.Since(start) < n.Timeout {
 		nr, _, err := n.conn.ReadFrom(buf)
 		if err != nil {
 			return PingResult{}, false
@@ -171,10 +173,11 @@ func (n *ICMPNetwork) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32
 	if _, err := n.conn.WriteTo(echoRequest(flowID, seq), addr); err != nil {
 		return Result{}
 	}
-	deadline := start.Add(n.Timeout)
+	// Same single-deadline pattern as exchangeEcho: kernel-enforced
+	// absolute deadline, monotonic elapsed-time loop bound.
+	n.conn.SetReadDeadline(start.Add(n.Timeout))
 	buf := make([]byte, 1500)
-	for time.Now().Before(deadline) {
-		n.conn.SetReadDeadline(deadline)
+	for time.Since(start) < n.Timeout {
 		nr, peer, err := n.conn.ReadFrom(buf)
 		if err != nil {
 			return Result{}

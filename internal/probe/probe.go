@@ -58,9 +58,9 @@ type Network interface {
 // Instrumented wraps a Network with the measurement-load accounting the
 // paper reports (64.45M destinations probed): echo requests, TTL-limited
 // probes, and retransmissions, both as flat totals and — when a telemetry
-// registry is attached — as per-stage counters ("probe/<stage>/pings",
-// "probe/<stage>/probes", "probe/<stage>/ping_retries",
-// "probe/<stage>/probe_retries"), so census, measurement, and reprobe
+// registry is attached — as per-stage counters ("probe.<stage>.pings",
+// "probe.<stage>.probes", "probe.<stage>.ping_retries",
+// "probe.<stage>.probe_retries"), so census, measurement, and reprobe
 // validation load stay attributable after a run.
 //
 // Instrumented is safe for concurrent use whenever the wrapped Network is;
@@ -103,10 +103,10 @@ func NewCounter(net Network) *Instrumented { return Instrument(net, nil, "") }
 func (n *Instrumented) SetStage(stage string) {
 	sc := &stageCounters{name: stage}
 	if n.reg != nil {
-		sc.pings = n.reg.Counter("probe/" + stage + "/pings")
-		sc.probes = n.reg.Counter("probe/" + stage + "/probes")
-		sc.pingRetries = n.reg.Counter("probe/" + stage + "/ping_retries")
-		sc.probeRetries = n.reg.Counter("probe/" + stage + "/probe_retries")
+		sc.pings = n.reg.Counter("probe." + stage + ".pings")
+		sc.probes = n.reg.Counter("probe." + stage + ".probes")
+		sc.pingRetries = n.reg.Counter("probe." + stage + ".ping_retries")
+		sc.probeRetries = n.reg.Counter("probe." + stage + ".probe_retries")
 	}
 	n.stage.Store(sc)
 }

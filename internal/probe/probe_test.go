@@ -296,11 +296,11 @@ func TestInstrumented(t *testing.T) {
 	c.Probe(dst, 5, 1, 3)
 	snap := reg.Snapshot()
 	want := map[string]int64{
-		"probe/measure/pings":         2,
-		"probe/measure/ping_retries":  1,
-		"probe/measure/probes":        2,
-		"probe/measure/probe_retries": 1,
-		"probe/validate/probes":       1,
+		"probe.measure.pings":         2,
+		"probe.measure.ping_retries":  1,
+		"probe.measure.probes":        2,
+		"probe.measure.probe_retries": 1,
+		"probe.validate.probes":       1,
 	}
 	for name, n := range want {
 		if snap.Counters[name] != n {

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzSnapshot drives a registry with arbitrary metric names and values
+// and checks the snapshot invariants: freezing never panics, the
+// deterministic marshal is stable call to call, the JSON round-trips,
+// and the frozen values match what was recorded.
+func FuzzSnapshot(f *testing.F) {
+	f.Add("census.scan_pings", int64(42), int64(-3), int64(7))
+	f.Add("a.b", int64(0), int64(0), int64(0))
+	f.Add("", int64(-1), int64(1<<62), int64(-1<<62))
+	f.Add("weird/NAME with spaces\x00", int64(1), int64(2), int64(3))
+	f.Fuzz(func(t *testing.T, name string, add, gauge, obs int64) {
+		r := NewRegistry()
+		r.Counter(name).Add(add)
+		r.Gauge(name).Set(gauge)
+		h := r.Histogram(name, []int64{4, 16, 64})
+		h.Observe(obs)
+		r.StartSpan(name).End() // timings must stay out of MarshalCounters
+
+		snap := r.Snapshot()
+		if got := snap.Counters[name]; got != add {
+			t.Fatalf("counter %q = %d, want %d", name, got, add)
+		}
+		if got := snap.Gauges[name]; got != gauge {
+			t.Fatalf("gauge %q = %d, want %d", name, got, gauge)
+		}
+		hs, ok := snap.Histograms[name]
+		if !ok || hs.Count != 1 || hs.Sum != obs {
+			t.Fatalf("histogram %q = %+v, want one observation of %d", name, hs, obs)
+		}
+
+		j1, err := r.MarshalCounters()
+		if err != nil {
+			t.Fatalf("MarshalCounters: %v", err)
+		}
+		j2, err := r.MarshalCounters()
+		if err != nil {
+			t.Fatalf("second MarshalCounters: %v", err)
+		}
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("MarshalCounters not stable:\n%s\n%s", j1, j2)
+		}
+		var back Snapshot
+		if err := json.Unmarshal(j1, &back); err != nil {
+			t.Fatalf("marshaled snapshot does not round-trip: %v", err)
+		}
+		// encoding/json replaces invalid UTF-8 in map keys, so the
+		// by-name lookup is only meaningful for valid names.
+		if utf8.ValidString(name) && back.Counters[name] != add {
+			t.Fatalf("round-trip counter %q = %d, want %d", name, back.Counters[name], add)
+		}
+		if len(back.Stages) != 0 {
+			t.Fatalf("MarshalCounters leaked %d stage timings", len(back.Stages))
+		}
+	})
+}

@@ -12,16 +12,16 @@ import (
 
 func TestCounterGaugeBasics(t *testing.T) {
 	r := NewRegistry()
-	c := r.Counter("probes")
+	c := r.Counter("test.probes")
 	c.Inc()
 	c.Add(4)
 	if got := c.Value(); got != 5 {
 		t.Errorf("counter = %d, want 5", got)
 	}
-	if r.Counter("probes") != c {
+	if r.Counter("test.probes") != c {
 		t.Error("second lookup returned a different counter")
 	}
-	g := r.Gauge("inflation_milli")
+	g := r.Gauge("test.inflation_milli")
 	g.Set(1800)
 	if got := g.Value(); got != 1800 {
 		t.Errorf("gauge = %d, want 1800", got)
@@ -30,14 +30,14 @@ func TestCounterGaugeBasics(t *testing.T) {
 
 func TestNilRegistryIsNoop(t *testing.T) {
 	var r *Registry
-	c := r.Counter("x")
+	c := r.Counter("test.x")
 	c.Inc()
 	c.Add(10)
 	if c.Value() != 0 {
 		t.Error("nil counter accumulated")
 	}
-	r.Gauge("g").Set(3)
-	h := r.Histogram("h", []int64{1, 2})
+	r.Gauge("test.g").Set(3)
+	h := r.Histogram("test.h", []int64{1, 2})
 	h.Observe(7)
 	if h.Count() != 0 || h.Sum() != 0 {
 		t.Error("nil histogram accumulated")
@@ -54,7 +54,7 @@ func TestNilRegistryIsNoop(t *testing.T) {
 
 func TestHistogramBuckets(t *testing.T) {
 	r := NewRegistry()
-	h := r.Histogram("probed_per_block", []int64{4, 8, 16})
+	h := r.Histogram("test.probed_per_block", []int64{4, 8, 16})
 	for _, v := range []int64{1, 4, 5, 9, 100} {
 		h.Observe(v)
 	}
@@ -96,10 +96,10 @@ func TestSpanTiming(t *testing.T) {
 func TestSnapshotDeterministic(t *testing.T) {
 	build := func() *Registry {
 		r := NewRegistry()
-		r.Counter("b/probes").Add(10)
-		r.Counter("a/pings").Add(3)
-		r.Gauge("inflation").Set(2)
-		h := r.Histogram("sizes", []int64{2, 8})
+		r.Counter("b.probes").Add(10)
+		r.Counter("a.pings").Add(3)
+		r.Gauge("test.inflation").Set(2)
+		h := r.Histogram("test.sizes", []int64{2, 8})
 		h.Observe(1)
 		h.Observe(5)
 		r.StartSpan("census").End() // timing must be excluded
@@ -133,26 +133,26 @@ func TestConcurrentRegistry(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
-				r.Counter("campaign/blocks_measured").Inc()
-				r.Histogram("campaign/probed_per_block", []int64{4, 16, 64}).Observe(int64(i))
-				r.Gauge("campaign/last").Set(int64(i))
+				r.Counter("campaign.blocks_measured").Inc()
+				r.Histogram("campaign.probed_per_block", []int64{4, 16, 64}).Observe(int64(i))
+				r.Gauge("campaign.last").Set(int64(i))
 				sp := r.StartSpan("hot")
 				sp.End()
 			}
 		}()
 	}
 	wg.Wait()
-	if got := r.Counter("campaign/blocks_measured").Value(); got != workers*iters {
+	if got := r.Counter("campaign.blocks_measured").Value(); got != workers*iters {
 		t.Errorf("counter = %d, want %d", got, workers*iters)
 	}
-	if got := r.Histogram("campaign/probed_per_block", nil).Count(); got != workers*iters {
+	if got := r.Histogram("campaign.probed_per_block", nil).Count(); got != workers*iters {
 		t.Errorf("histogram count = %d, want %d", got, workers*iters)
 	}
 }
 
 func TestServeHTTP(t *testing.T) {
 	r := NewRegistry()
-	r.Counter("census/scan_pings").Add(42)
+	r.Counter("census.scan_pings").Add(42)
 	rec := httptest.NewRecorder()
 	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
@@ -162,7 +162,7 @@ func TestServeHTTP(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
 		t.Fatalf("bad JSON: %v", err)
 	}
-	if snap.Counters["census/scan_pings"] != 42 {
+	if snap.Counters["census.scan_pings"] != 42 {
 		t.Errorf("snapshot = %+v", snap)
 	}
 }

@@ -37,12 +37,12 @@ func Scan(s Scanner, blocks []iputil.Block24) *Dataset {
 
 // ScanObserved is Scan with census-load accounting: it records the echo
 // requests sent, the responders found, and the blocks with any activity
-// under "census/…" counters in reg (nil reg keeps the plain behaviour).
+// under "census.…" counters in reg (nil reg keeps the plain behaviour).
 func ScanObserved(s Scanner, blocks []iputil.Block24, reg *telemetry.Registry) *Dataset {
-	scanPings := reg.Counter("census/scan_pings")
-	responders := reg.Counter("census/responders")
-	activeBlocks := reg.Counter("census/active_blocks")
-	activePerBlock := reg.Histogram("census/active_per_block", []int64{4, 16, 64, 256})
+	scanPings := reg.Counter("census.scan_pings")
+	responders := reg.Counter("census.responders")
+	activeBlocks := reg.Counter("census.active_blocks")
+	activePerBlock := reg.Histogram("census.active_per_block", []int64{4, 16, 64, 256})
 
 	d := NewDataset()
 	for _, b := range blocks {
