@@ -25,6 +25,7 @@ import (
 	"github.com/hobbitscan/hobbit/internal/iputil"
 	"github.com/hobbitscan/hobbit/internal/mcl"
 	"github.com/hobbitscan/hobbit/internal/netsim"
+	"github.com/hobbitscan/hobbit/internal/parallel"
 	"github.com/hobbitscan/hobbit/internal/probe"
 	"github.com/hobbitscan/hobbit/internal/telemetry"
 	"github.com/hobbitscan/hobbit/internal/zmap"
@@ -197,6 +198,123 @@ func BenchmarkMCLCore(b *testing.B) {
 		if got := mcl.Cluster(g, mcl.Options{}); len(got) < 2 {
 			b.Fatalf("clusters = %d", len(got))
 		}
+	}
+}
+
+// --- Parallel-stage benchmarks (regressed against BENCH_3.json) ---
+//
+// Each compares the serial path (workers-1) against an 8-worker pool over
+// the same inputs; the outputs are byte-identical by contract (see
+// DESIGN.md), so only the wall clock may differ. Speedups only show on
+// multi-core hosts — GOMAXPROCS=1 runs both legs on one core.
+
+// BenchmarkClusterGraph measures similarity-graph construction, the
+// pairwise stage sharded per vertex.
+func BenchmarkClusterGraph(b *testing.B) {
+	l := lab(b)
+	out, err := l.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(out.Aggregates) == 0 {
+		b.Skip("no aggregates")
+	}
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := cluster.BuildGraphWorkers(out.Aggregates, workers)
+				if g.Len() != len(out.Aggregates) {
+					b.Fatal("graph size mismatch")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMCLExpand measures MCL over a dense synthetic component large
+// enough to engage the per-column sharding of the expand/inflate step.
+func BenchmarkMCLExpand(b *testing.B) {
+	// Several dense families bridged by weak edges, sized well past the
+	// parallelism threshold (128 columns).
+	const families, size = 8, 40
+	g := graph.New(families * size)
+	for f := 0; f < families; f++ {
+		base := f * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if (i+j)%3 == 0 {
+					g.AddEdge(base+i, base+j, 0.8)
+				}
+			}
+		}
+		if f > 0 {
+			g.AddEdge(base, base-size, 0.05)
+		}
+	}
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := mcl.Cluster(g, mcl.Options{Workers: workers}); len(got) < 2 {
+					b.Fatalf("clusters = %d", len(got))
+				}
+			}
+		})
+	}
+}
+
+// benchReprober is the exhaustive Section 6.5 reprobe strategy, the same
+// shape core.Pipeline uses during validation.
+type benchReprober struct {
+	m  *hobbit.Measurer
+	ds *zmap.Dataset
+}
+
+func (r benchReprober) Reprobe(blk iputil.Block24) []iputil.Addr {
+	return r.m.MeasureBlock(blk, r.ds.ActivesBy26(blk)).LastHops
+}
+
+// BenchmarkValidate measures cluster reprobe validation fanned out over
+// the worker pool, merged in cluster-ID order.
+func BenchmarkValidate(b *testing.B) {
+	l := lab(b)
+	out, err := l.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if out.Clustering == nil || len(out.Clustering.Clusters) == 0 {
+		b.Skip("no clusters to validate")
+	}
+	clusters := out.Clustering.Clusters
+	rp := benchReprober{
+		m:  &hobbit.Measurer{Net: l.Net, Seed: l.Seed, Exhaustive: true},
+		ds: out.Dataset,
+	}
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				vals := make([]cluster.Validation, len(clusters))
+				pool := parallel.Pool{Workers: workers}
+				err := pool.ForEach(context.Background(), len(clusters), func(j int) {
+					vals[j] = cluster.Validate(clusters[j], rp, 0, l.Seed)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				checked := 0
+				for _, v := range vals {
+					checked += v.PairsChecked
+				}
+				if checked == 0 {
+					b.Fatal("validation checked no pairs")
+				}
+			}
+		})
 	}
 }
 

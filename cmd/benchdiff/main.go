@@ -1,0 +1,284 @@
+// Command benchdiff compares two `go test -bench` result sets and fails
+// when any benchmark regresses. It is the CI gate that keeps the
+// BENCH_*.json baselines honest: the bench job reruns the suite and
+// benchdiff exits non-zero if any benchmark's ns/op grew beyond the
+// allowed fraction over the checked-in baseline.
+//
+// Usage:
+//
+//	benchdiff [-max-regress F] [-write FILE] OLD [NEW]
+//
+// OLD and NEW are each either raw `go test -bench` output or a JSON file
+// previously produced by -write (detected by content, not extension).
+// With both OLD and NEW, benchdiff prints a comparison and exits 1 on
+// regression. With only OLD and -write, it converts OLD to the JSON
+// baseline format — how BENCH_<pr>.json baselines are produced:
+//
+//	go test -bench=. -benchtime=1x -benchmem . > bench.txt
+//	go run ./cmd/benchdiff -write BENCH_3.json bench.txt
+//
+// Only ns/op is gated; bytes/op and allocs/op are carried in the JSON for
+// human inspection. Benchmarks present in only one input are reported but
+// never fail the run (suites grow; baselines are refreshed by the PR that
+// grows them).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's parsed result. Repeated runs of the same
+// benchmark average their values.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	runs        int
+}
+
+// File is the JSON baseline shape.
+type File struct {
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed fractional ns/op growth before failing (0.20 = +20%)")
+		write      = flag.String("write", "", "write the last input's parsed results to this JSON file")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress F] [-write FILE] OLD [NEW]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sets := make([]map[string]Metrics, flag.NArg())
+	for i, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if sets[i], err = Parse(data); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+	if *write != "" {
+		if err := writeJSON(*write, sets[len(sets)-1]); err != nil {
+			fatal(err)
+		}
+	}
+	if flag.NArg() == 2 {
+		report := Compare(sets[0], sets[1], *maxRegress)
+		fmt.Print(report.String())
+		if len(report.Regressions) > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+// Parse reads either raw `go test -bench` output or the JSON baseline
+// format, detected by content.
+func Parse(data []byte) (map[string]Metrics, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		var f File
+		if err := json.Unmarshal(trimmed, &f); err != nil {
+			return nil, err
+		}
+		if f.Benchmarks == nil {
+			return nil, fmt.Errorf("JSON input has no \"benchmarks\" object")
+		}
+		return f.Benchmarks, nil
+	}
+	return parseBenchText(data)
+}
+
+type rawLine struct {
+	name         string
+	ns, bpo, apo float64
+}
+
+// parseBenchText extracts benchmark lines of the form
+//
+//	BenchmarkName-8   100   123.4 ns/op   45 B/op   6 allocs/op   1.5 extra/unit
+//
+// When every benchmark in the file carries the same trailing -N marker —
+// the GOMAXPROCS suffix go test appends on multi-core hosts — it is
+// stripped, so baselines recorded at GOMAXPROCS=1 (no suffix) line up with
+// CI runs at GOMAXPROCS=N. A trailing -N that varies across lines is part
+// of real sub-benchmark names (workers-1, samples-1000) and is kept.
+func parseBenchText(data []byte) (map[string]Metrics, error) {
+	var lines []rawLine
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: some other Benchmark… line
+		}
+		// Value/unit pairs follow the iteration count.
+		l := rawLine{name: fields[0]}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				l.ns, seen = v, true
+			case "B/op":
+				l.bpo = v
+			case "allocs/op":
+				l.apo = v
+			}
+		}
+		if seen {
+			lines = append(lines, l)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	suffix := commonProcSuffix(lines)
+	out := make(map[string]Metrics)
+	for _, l := range lines {
+		name := strings.TrimSuffix(l.name, suffix)
+		m := out[name]
+		m.NsPerOp = (m.NsPerOp*float64(m.runs) + l.ns) / float64(m.runs+1)
+		m.BytesPerOp = (m.BytesPerOp*float64(m.runs) + l.bpo) / float64(m.runs+1)
+		m.AllocsPerOp = (m.AllocsPerOp*float64(m.runs) + l.apo) / float64(m.runs+1)
+		m.runs++
+		out[name] = m
+	}
+	return out, nil
+}
+
+// commonProcSuffix returns the trailing "-N" shared by every benchmark
+// name in the run, or "" when the lines disagree (then any trailing
+// number is a sub-benchmark name, not the GOMAXPROCS marker).
+func commonProcSuffix(lines []rawLine) string {
+	var suffix string
+	for i, l := range lines {
+		j := strings.LastIndex(l.name, "-")
+		if j < 0 {
+			return ""
+		}
+		if _, err := strconv.Atoi(l.name[j+1:]); err != nil {
+			return ""
+		}
+		if s := l.name[j:]; i == 0 {
+			suffix = s
+		} else if s != suffix {
+			return ""
+		}
+	}
+	return suffix
+}
+
+// Delta is one compared benchmark.
+type Delta struct {
+	Name     string
+	Old, New float64 // ns/op
+}
+
+// Ratio is New/Old (1.0 = unchanged; 0 when Old is 0).
+func (d Delta) Ratio() float64 {
+	if d.Old == 0 {
+		return 0
+	}
+	return d.New / d.Old
+}
+
+// Report is the outcome of a comparison.
+type Report struct {
+	Regressions []Delta // ns/op grew beyond the threshold
+	Compared    []Delta // every benchmark present in both sets
+	OnlyOld     []string
+	OnlyNew     []string
+	MaxRegress  float64
+}
+
+// Compare evaluates new against old: any benchmark whose ns/op grew by
+// more than maxRegress (fractional) is a regression.
+func Compare(old, new map[string]Metrics, maxRegress float64) Report {
+	r := Report{MaxRegress: maxRegress}
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n, ok := new[name]
+		if !ok {
+			r.OnlyOld = append(r.OnlyOld, name)
+			continue
+		}
+		d := Delta{Name: name, Old: old[name].NsPerOp, New: n.NsPerOp}
+		r.Compared = append(r.Compared, d)
+		if d.Old > 0 && d.New > d.Old*(1+maxRegress) {
+			r.Regressions = append(r.Regressions, d)
+		}
+	}
+	for name := range new {
+		if _, ok := old[name]; !ok {
+			r.OnlyNew = append(r.OnlyNew, name)
+		}
+	}
+	sort.Strings(r.OnlyNew)
+	return r
+}
+
+// String renders the report for the CI log: regressions first, then the
+// full comparison, then coverage differences.
+func (r Report) String() string {
+	var b strings.Builder
+	for _, d := range r.Regressions {
+		fmt.Fprintf(&b, "REGRESSION %-60s %14.1f -> %14.1f ns/op (%.2fx > allowed %.2fx)\n",
+			d.Name, d.Old, d.New, d.Ratio(), 1+r.MaxRegress)
+	}
+	for _, d := range r.Compared {
+		fmt.Fprintf(&b, "ok         %-60s %14.1f -> %14.1f ns/op (%.2fx)\n", d.Name, d.Old, d.New, d.Ratio())
+	}
+	for _, name := range r.OnlyOld {
+		fmt.Fprintf(&b, "only-old   %s\n", name)
+	}
+	for _, name := range r.OnlyNew {
+		fmt.Fprintf(&b, "only-new   %s\n", name)
+	}
+	fmt.Fprintf(&b, "%d compared, %d regressions\n", len(r.Compared), len(r.Regressions))
+	return b.String()
+}
+
+// writeJSON writes the parsed set in the JSON baseline format with sorted
+// keys (json.Marshal sorts map keys) and a trailing newline.
+func writeJSON(path string, set map[string]Metrics) error {
+	data, err := json.MarshalIndent(File{Benchmarks: set}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: github.com/hobbitscan/hobbit
+cpu: Test CPU
+BenchmarkAlpha-8         	     100	    1000.0 ns/op	     512 B/op	       8 allocs/op
+BenchmarkBeta/workers-1-8	      50	    2000.0 ns/op
+BenchmarkBeta/workers-8-8	      50	     500.0 ns/op
+BenchmarkAlpha-8         	     100	    3000.0 ns/op	     256 B/op	       4 allocs/op
+PASS
+ok  	github.com/hobbitscan/hobbit	1.234s
+`
+
+func TestParseBenchText(t *testing.T) {
+	set, err := Parse([]byte(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(set), set)
+	}
+	// The duplicated Alpha runs average, and the -8 suffix is stripped.
+	alpha, ok := set["BenchmarkAlpha"]
+	if !ok {
+		t.Fatal("BenchmarkAlpha missing (suffix not stripped?)")
+	}
+	if alpha.NsPerOp != 2000 || alpha.BytesPerOp != 384 || alpha.AllocsPerOp != 6 {
+		t.Errorf("Alpha averaged to %+v, want 2000 ns / 384 B / 6 allocs", alpha)
+	}
+	if got := set["BenchmarkBeta/workers-1"].NsPerOp; got != 2000 {
+		t.Errorf("Beta/workers-1 ns/op = %v, want 2000", got)
+	}
+	if got := set["BenchmarkBeta/workers-8"].NsPerOp; got != 500 {
+		t.Errorf("Beta/workers-8 ns/op = %v, want 500", got)
+	}
+}
+
+func TestParseJSONRoundTrip(t *testing.T) {
+	set, err := Parse([]byte(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := writeJSON(path, set); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(set) {
+		t.Fatalf("round trip lost benchmarks: %d -> %d", len(set), len(back))
+	}
+	for name, m := range set {
+		if b := back[name]; math.Abs(b.NsPerOp-m.NsPerOp) > 1e-9 {
+			t.Errorf("%s ns/op %v -> %v", name, m.NsPerOp, b.NsPerOp)
+		}
+	}
+	// The file is stable, valid JSON with the documented shape.
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Benchmarks == nil {
+		t.Fatal("written file lacks benchmarks object")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("no benchmarks here\n")); err == nil {
+		t.Error("want error for input without benchmark lines")
+	}
+	if _, err := Parse([]byte(`{"not_benchmarks": {}}`)); err == nil {
+		t.Error("want error for JSON without benchmarks key")
+	}
+	if _, err := Parse([]byte(`{broken`)); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := map[string]Metrics{
+		"BenchmarkStable":  {NsPerOp: 1000},
+		"BenchmarkFaster":  {NsPerOp: 1000},
+		"BenchmarkSlower":  {NsPerOp: 1000},
+		"BenchmarkAtLimit": {NsPerOp: 1000},
+		"BenchmarkGone":    {NsPerOp: 1000},
+	}
+	new := map[string]Metrics{
+		"BenchmarkStable":  {NsPerOp: 1000},
+		"BenchmarkFaster":  {NsPerOp: 400},
+		"BenchmarkSlower":  {NsPerOp: 1201}, // +20.1% > 20% threshold
+		"BenchmarkAtLimit": {NsPerOp: 1200}, // exactly +20% passes
+		"BenchmarkNew":     {NsPerOp: 99},
+	}
+	r := Compare(old, new, 0.20)
+	if len(r.Regressions) != 1 || r.Regressions[0].Name != "BenchmarkSlower" {
+		t.Errorf("regressions = %+v, want exactly BenchmarkSlower", r.Regressions)
+	}
+	if len(r.Compared) != 4 {
+		t.Errorf("compared %d benchmarks, want 4", len(r.Compared))
+	}
+	// Coverage drift is reported but never a regression.
+	if len(r.OnlyOld) != 1 || r.OnlyOld[0] != "BenchmarkGone" {
+		t.Errorf("OnlyOld = %v", r.OnlyOld)
+	}
+	if len(r.OnlyNew) != 1 || r.OnlyNew[0] != "BenchmarkNew" {
+		t.Errorf("OnlyNew = %v", r.OnlyNew)
+	}
+	out := r.String()
+	if !strings.Contains(out, "REGRESSION BenchmarkSlower") {
+		t.Errorf("report missing regression line:\n%s", out)
+	}
+	if !strings.Contains(out, "4 compared, 1 regressions") {
+		t.Errorf("report missing summary line:\n%s", out)
+	}
+}
+
+func TestCompareNoRegressionsAgainstSelf(t *testing.T) {
+	set, err := Parse([]byte(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Compare(set, set, 0.20)
+	if len(r.Regressions) != 0 {
+		t.Errorf("self-comparison regressed: %+v", r.Regressions)
+	}
+	if len(r.OnlyOld)+len(r.OnlyNew) != 0 {
+		t.Errorf("self-comparison drifted: %v %v", r.OnlyOld, r.OnlyNew)
+	}
+}
+
+// TestParseSingleProcNames pins the GOMAXPROCS=1 case: go test appends no
+// -N suffix, so sub-benchmark names that happen to end in a number
+// (workers-1, samples-1000) must survive intact rather than being
+// mistaken for the proc marker and merged together.
+func TestParseSingleProcNames(t *testing.T) {
+	const text = `BenchmarkPlain      	     100	    1000.0 ns/op
+BenchmarkBeta/workers-1	      50	    2000.0 ns/op
+BenchmarkBeta/workers-8	      50	     500.0 ns/op
+BenchmarkTable/samples-1000	      10	    9000.0 ns/op
+`
+	set, err := Parse([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BenchmarkPlain",
+		"BenchmarkBeta/workers-1",
+		"BenchmarkBeta/workers-8",
+		"BenchmarkTable/samples-1000",
+	} {
+		if _, ok := set[want]; !ok {
+			t.Errorf("%s missing; got %v", want, set)
+		}
+	}
+	if len(set) != 4 {
+		t.Errorf("parsed %d benchmarks, want 4", len(set))
+	}
+}
+
+// TestProcSuffixCrossMatch checks the property the CI gate depends on: a
+// baseline recorded at GOMAXPROCS=1 compares cleanly against a run at
+// GOMAXPROCS=8, because the uniform -8 marker is stripped.
+func TestProcSuffixCrossMatch(t *testing.T) {
+	const oneCore = "BenchmarkBeta/workers-1	50	2000.0 ns/op\nBenchmarkPlain	100	1000.0 ns/op\n"
+	const eightCore = "BenchmarkBeta/workers-1-8	50	2000.0 ns/op\nBenchmarkPlain-8	100	1000.0 ns/op\n"
+	old, err := Parse([]byte(oneCore))
+	if err != nil {
+		t.Fatal(err)
+	}
+	new, err := Parse([]byte(eightCore))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Compare(old, new, 0.20)
+	if len(r.Compared) != 2 || len(r.OnlyOld)+len(r.OnlyNew) != 0 {
+		t.Errorf("cross-GOMAXPROCS names did not line up: %+v", r)
+	}
+}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	hobbit [-blocks N] [-scale F] [-seed S] [-workers W]
-//	       [-skip-clustering] [-dump FILE] [-top N]
+//	       [-cluster-workers W] [-skip-clustering] [-dump FILE] [-top N]
 //	       [-json] [-progress] [-metrics-addr HOST:PORT]
 //
 // Every run is instrumented: -json emits a machine-readable summary with
@@ -42,6 +42,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.25, "scale factor for the planted Table-5 aggregates")
 		seed     = flag.Uint64("seed", 0x40bb17, "world and measurement seed")
 		workers  = flag.Int("workers", 0, "measurement workers (0 = GOMAXPROCS)")
+		clWorker = flag.Int("cluster-workers", 0, "post-campaign stage workers: similarity graph, MCL, validation (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		skipCl   = flag.Bool("skip-clustering", false, "stop after identical-set aggregation")
 		dump     = flag.String("dump", "", "write the final homogeneous block map to this file")
 		top      = flag.Int("top", 15, "number of largest blocks to characterize")
@@ -53,6 +54,7 @@ func main() {
 
 	if err := run(context.Background(), runConfig{
 		blocks: *blocks, scale: *scale, seed: *seed, workers: *workers,
+		clusterWorkers: *clWorker,
 		skipClustering: *skipCl, dump: *dump, top: *top, json: *jsonOut,
 		progress: *progress, metricsAddr: *metrics,
 	}); err != nil {
@@ -66,6 +68,7 @@ type runConfig struct {
 	scale          float64
 	seed           uint64
 	workers        int
+	clusterWorkers int
 	skipClustering bool
 	dump           string
 	top            int
@@ -115,6 +118,7 @@ func run(ctx context.Context, rc runConfig) error {
 		Blocks:         world.Blocks(),
 		Seed:           rc.seed,
 		Workers:        rc.workers,
+		ClusterWorkers: rc.clusterWorkers,
 		SkipClustering: rc.skipClustering,
 		ValidatePairs:  20000,
 		Telemetry:      reg,

@@ -8,12 +8,14 @@
 package cluster
 
 import (
+	"context"
 	"sort"
 
 	"github.com/hobbitscan/hobbit/internal/aggregate"
 	"github.com/hobbitscan/hobbit/internal/graph"
 	"github.com/hobbitscan/hobbit/internal/iputil"
 	"github.com/hobbitscan/hobbit/internal/mcl"
+	"github.com/hobbitscan/hobbit/internal/parallel"
 	"github.com/hobbitscan/hobbit/internal/rng"
 	"github.com/hobbitscan/hobbit/internal/telemetry"
 )
@@ -47,32 +49,65 @@ func (c *Cluster) Blocks24() []iputil.Block24 {
 // the identical-set aggregates (the Section 6.3 pre-merge of weight-1
 // edges), edges connect aggregates with overlapping last-hop sets,
 // weighted by the similarity score. Aggregates with disjoint sets get no
-// edge.
+// edge. BuildGraph runs serially; BuildGraphWorkers shards it.
 func BuildGraph(blocks []*aggregate.Block) *graph.Graph {
+	return BuildGraphWorkers(blocks, 1)
+}
+
+// BuildGraphWorkers is BuildGraph with the pairwise similarity
+// computation sharded over the given worker count (0 = GOMAXPROCS). Each
+// vertex independently resolves its higher-indexed candidate neighbors
+// through the shared inverted index and scores them; the per-vertex edge
+// lists are then merged into the graph in vertex order, so the adjacency
+// lists — and everything downstream — are identical for every worker
+// count.
+func BuildGraphWorkers(blocks []*aggregate.Block, workers int) *graph.Graph {
+	return buildGraph(blocks, parallel.Pool{Workers: workers})
+}
+
+// halfEdge is one scored candidate pair (i, to) with i < to.
+type halfEdge struct {
+	to int
+	w  float64
+}
+
+func buildGraph(blocks []*aggregate.Block, pool parallel.Pool) *graph.Graph {
 	g := graph.New(len(blocks))
-	// Inverted index: last hop -> aggregate ids.
+	// Inverted index: last hop -> aggregate ids, ascending (built in
+	// block order).
 	posting := make(map[iputil.Addr][]int)
 	for i, b := range blocks {
 		for _, lh := range b.LastHops {
 			posting[lh] = append(posting[lh], i)
 		}
 	}
-	type pair struct{ a, b int }
-	seen := make(map[pair]struct{})
-	for _, ids := range posting {
-		for x := 0; x < len(ids); x++ {
-			for y := x + 1; y < len(ids); y++ {
-				p := pair{a: ids[x], b: ids[y]}
-				if p.a > p.b {
-					p.a, p.b = p.b, p.a
+	// Shard: vertex i scores each distinct j > i sharing a last hop.
+	rows, _ := parallel.Map(context.Background(), pool, len(blocks), func(i int) []halfEdge {
+		var cand []int
+		for _, lh := range blocks[i].LastHops {
+			for _, j := range posting[lh] {
+				if j > i {
+					cand = append(cand, j)
 				}
-				if _, dup := seen[p]; dup {
-					continue
-				}
-				seen[p] = struct{}{}
-				w := aggregate.Similarity(blocks[p.a].LastHops, blocks[p.b].LastHops)
-				g.AddEdge(p.a, p.b, w)
 			}
+		}
+		sort.Ints(cand)
+		row := make([]halfEdge, 0, len(cand))
+		prev := -1
+		for _, j := range cand {
+			if j == prev {
+				continue
+			}
+			prev = j
+			row = append(row, halfEdge{to: j, w: aggregate.Similarity(blocks[i].LastHops, blocks[j].LastHops)})
+		}
+		return row
+	})
+	// Ordered merge: edges enter the graph in (i, j) order regardless of
+	// which worker scored them.
+	for i, row := range rows {
+		for _, e := range row {
+			g.AddEdge(i, e.to, e.w)
 		}
 	}
 	return g
@@ -87,6 +122,11 @@ type Pipeline struct {
 	MCL mcl.Options
 	// Seed drives deterministic pair sampling during validation.
 	Seed uint64
+	// Workers bounds the concurrency of graph construction and of the
+	// MCL rounds (0 = GOMAXPROCS, 1 = serial). The result is identical
+	// for every worker count (see the parallel package's determinism
+	// contract).
+	Workers int
 	// Telemetry receives "cluster.…" counters and gauges; nil disables
 	// it.
 	Telemetry *telemetry.Registry
@@ -116,7 +156,8 @@ func (p *Pipeline) inflations() []float64 {
 
 // Run executes the full Section 6.3-6.4 procedure.
 func (p *Pipeline) Run(blocks []*aggregate.Block) *Result {
-	g := BuildGraph(blocks)
+	pool := parallel.Pool{Workers: p.Workers, Telemetry: p.Telemetry, Stage: "cluster"}
+	g := buildGraph(blocks, pool)
 	comps := g.Components()
 
 	// Only components with >= 2 vertices need MCL.
@@ -151,8 +192,7 @@ func (p *Pipeline) Run(blocks []*aggregate.Block) *Result {
 	res.ChosenInflation = best
 
 	// Final clustering at the chosen inflation.
-	opts := p.MCL
-	opts.Inflation = best
+	opts := p.mclOpts(best)
 	clustered := make(map[int]bool)
 	for _, comp := range multi {
 		sub, back := g.Subgraph(comp)
@@ -187,11 +227,22 @@ func (p *Pipeline) Run(blocks []*aggregate.Block) *Result {
 	return res
 }
 
+// mclOpts derives the per-run MCL options: the sweep's inflation wins,
+// and the pipeline's worker bound applies unless the caller pinned one on
+// MCL directly.
+func (p *Pipeline) mclOpts(inflation float64) mcl.Options {
+	opts := p.MCL
+	opts.Inflation = inflation
+	if opts.Workers == 0 {
+		opts.Workers = p.Workers
+	}
+	return opts
+}
+
 // sweepObjective runs MCL at one inflation and scores it: the fraction of
 // intra-cluster edges with weight below the global median.
 func (p *Pipeline) sweepObjective(g *graph.Graph, comps [][]int, inflation, median float64) float64 {
-	opts := p.MCL
-	opts.Inflation = inflation
+	opts := p.mclOpts(inflation)
 	below, total := 0, 0
 	for _, comp := range comps {
 		sub, _ := g.Subgraph(comp)
@@ -310,6 +361,22 @@ type Validation struct {
 	// may accept clusters with a dominant modal set.
 	Reprobed   int
 	ModalShare float64
+}
+
+// Acceptance thresholds for the modal-set relaxation: enough reprobed
+// members that a 90% modal share cannot come from a cluster that wrongly
+// merged two aggregates, yet loose enough to tolerate availability churn.
+const (
+	acceptMinReprobed = 4
+	acceptModalShare  = 0.9
+)
+
+// Passes reports whether the validation outcome accepts the cluster for
+// merging: the paper's strict all-pairs-identical criterion, or a
+// dominant modal set — at least acceptMinReprobed members reprobed with
+// at least acceptModalShare of them agreeing on one last-hop set.
+func (v Validation) Passes() bool {
+	return v.Homogeneous || (v.Reprobed >= acceptMinReprobed && v.ModalShare >= acceptModalShare)
 }
 
 // Ratio is the fraction of identical pairs (Figure 9's metric).

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/hobbitscan/hobbit/internal/aggregate"
@@ -61,6 +62,34 @@ func TestBuildGraphEdges(t *testing.T) {
 	}
 	if !found {
 		t.Error("similarity edge 0-1 missing or mis-weighted")
+	}
+}
+
+// TestBuildGraphWorkersIdentical is the graph half of the PR's
+// determinism contract: the sharded construction must produce adjacency
+// lists identical to the serial one, vertex by vertex, for several worker
+// counts and input shapes.
+func TestBuildGraphWorkersIdentical(t *testing.T) {
+	var blocks []*aggregate.Block
+	for f := 0; f < 6; f++ {
+		blocks = append(blocks, starvedFamily(5, 20, uint32(f)*0x10000)...)
+	}
+	for i, b := range blocks {
+		b.ID = i
+	}
+	serial := BuildGraphWorkers(blocks, 1)
+	for _, workers := range []int{0, 2, 8} {
+		sharded := BuildGraphWorkers(blocks, workers)
+		if sharded.Len() != serial.Len() || sharded.NumEdges() != serial.NumEdges() {
+			t.Fatalf("workers=%d: graph shape differs (%d/%d vertices, %d/%d edges)",
+				workers, sharded.Len(), serial.Len(), sharded.NumEdges(), serial.NumEdges())
+		}
+		for v := 0; v < serial.Len(); v++ {
+			if !reflect.DeepEqual(serial.Neighbors(v), sharded.Neighbors(v)) {
+				t.Fatalf("workers=%d: adjacency of vertex %d differs:\n%v\n%v",
+					workers, v, serial.Neighbors(v), sharded.Neighbors(v))
+			}
+		}
 	}
 }
 
@@ -241,6 +270,92 @@ func TestPipelineDeterministic(t *testing.T) {
 	for i := range r1.Clusters {
 		if len(r1.Clusters[i].Members) != len(r2.Clusters[i].Members) {
 			t.Fatal("cluster memberships differ")
+		}
+	}
+}
+
+// TestValidationPasses pins the acceptance rule's boundary: strict
+// homogeneity always passes; otherwise both the reprobed floor (>= 4) and
+// the modal-share floor (>= 0.9) must hold.
+func TestValidationPasses(t *testing.T) {
+	cases := []struct {
+		name string
+		v    Validation
+		want bool
+	}{
+		{name: "strict-homogeneous", v: Validation{Homogeneous: true, PairsChecked: 3, IdenticalPairs: 3}, want: true},
+		{name: "strict-beats-low-modal", v: Validation{Homogeneous: true, Reprobed: 2, ModalShare: 0.5}, want: true},
+		{name: "modal-at-both-floors", v: Validation{Reprobed: 4, ModalShare: 0.9}, want: true},
+		{name: "modal-above-floors", v: Validation{Reprobed: 10, ModalShare: 0.95}, want: true},
+		{name: "reprobed-below-floor", v: Validation{Reprobed: 3, ModalShare: 1.0}, want: false},
+		{name: "modal-share-below-floor", v: Validation{Reprobed: 10, ModalShare: 0.8999}, want: false},
+		{name: "zero-value", v: Validation{}, want: false},
+		{name: "pairs-differ-no-modal", v: Validation{PairsChecked: 5, IdenticalPairs: 4, Reprobed: 4, ModalShare: 0.75}, want: false},
+	}
+	for _, tc := range cases {
+		if got := tc.v.Passes(); got != tc.want {
+			t.Errorf("%s: Passes() = %v, want %v (%+v)", tc.name, got, tc.want, tc.v)
+		}
+	}
+}
+
+// TestApplyValidatedTable drives ApplyValidated over a two-cluster result
+// with every accept/reject combination, checking merge counts, pass-
+// through of rejected members, and /24 conservation.
+func TestApplyValidatedTable(t *testing.T) {
+	build := func() *Result {
+		famA := starvedFamily(4, 4, 0x100000)
+		famB := starvedFamily(4, 4, 0x200000)
+		loner := agg(99, 0x300000, 2, 0x9999)
+		all := append(append(append([]*aggregate.Block(nil), famA...), famB...), loner)
+		for i, b := range all {
+			b.ID = i
+		}
+		p := &Pipeline{Seed: 1}
+		res := p.Run(all)
+		if len(res.Clusters) != 2 {
+			t.Fatalf("clusters = %d, want 2", len(res.Clusters))
+		}
+		return res
+	}
+	size24 := func(blocks []*aggregate.Block) int {
+		total := 0
+		for _, b := range blocks {
+			total += b.Size()
+		}
+		return total
+	}
+	res := build()
+	inputBlocks := len(res.Clusters[0].Members) + len(res.Clusters[1].Members) + len(res.Unclustered)
+	input24 := size24(res.Clusters[0].Members) + size24(res.Clusters[1].Members) + size24(res.Unclustered)
+	cases := []struct {
+		name      string
+		validated map[int]bool
+		want      int // expected final block count
+	}{
+		{name: "none", validated: map[int]bool{}, want: inputBlocks},
+		{name: "nil-map", validated: nil, want: inputBlocks},
+		{name: "first-only", validated: map[int]bool{res.Clusters[0].ID: true},
+			want: inputBlocks - len(res.Clusters[0].Members) + 1},
+		{name: "second-only", validated: map[int]bool{res.Clusters[1].ID: true},
+			want: inputBlocks - len(res.Clusters[1].Members) + 1},
+		{name: "explicit-false-is-reject", validated: map[int]bool{res.Clusters[0].ID: false},
+			want: inputBlocks},
+		{name: "both", validated: map[int]bool{res.Clusters[0].ID: true, res.Clusters[1].ID: true},
+			want: inputBlocks - len(res.Clusters[0].Members) - len(res.Clusters[1].Members) + 2},
+	}
+	for _, tc := range cases {
+		out := ApplyValidated(res, tc.validated)
+		if len(out) != tc.want {
+			t.Errorf("%s: %d final blocks, want %d", tc.name, len(out), tc.want)
+		}
+		if got := size24(out); got != input24 {
+			t.Errorf("%s: /24 conservation broken: %d -> %d", tc.name, input24, got)
+		}
+		for i, b := range out {
+			if b.ID != i {
+				t.Errorf("%s: ID %d at index %d", tc.name, b.ID, i)
+			}
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"github.com/hobbitscan/hobbit/internal/cluster"
 	"github.com/hobbitscan/hobbit/internal/hobbit"
 	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/parallel"
 	"github.com/hobbitscan/hobbit/internal/probe"
 	"github.com/hobbitscan/hobbit/internal/telemetry"
 	"github.com/hobbitscan/hobbit/internal/zmap"
@@ -48,6 +49,11 @@ type Pipeline struct {
 	Seed uint64
 	// Workers bounds measurement concurrency (0 = GOMAXPROCS).
 	Workers int
+	// ClusterWorkers bounds the post-campaign stages — similarity-graph
+	// construction, MCL expansion, and reprobe validation (0 =
+	// GOMAXPROCS, 1 = serial). Output is byte-identical for every value:
+	// the stages shard index spaces and merge results in index order.
+	ClusterWorkers int
 	// MDAOpts tunes the per-destination MDA runs.
 	MDAOpts probe.MDAOptions
 	// Terminator overrides the hierarchical-sufficiency rule (nil uses
@@ -175,7 +181,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 	}
 
 	span = reg.StartSpan(StageCluster)
-	pipe := &cluster.Pipeline{Seed: p.Seed, Telemetry: reg}
+	pipe := &cluster.Pipeline{Seed: p.Seed, Workers: p.ClusterWorkers, Telemetry: reg}
 	out.Clustering = pipe.Run(out.Aggregates)
 	span.End()
 	if err := ctx.Err(); err != nil {
@@ -190,28 +196,43 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 	identicalPairs := reg.Counter("validate.identical_pairs")
 	reprobed := reg.Counter("validate.blocks_reprobed")
 	accepted := reg.Counter("validate.clusters_validated")
-	out.Validations = make(map[int]cluster.Validation, len(out.Clustering.Clusters))
+	// Clusters validate independently (each owns its member /24s, and
+	// reprobe randomness is keyed by cluster ID), so they fan out over
+	// the pool; the measurer and probing surface are the same
+	// concurrency-safe objects the measurement campaign already shares
+	// across workers. Results land in per-cluster slots and merge below
+	// in cluster-ID order, so counters and maps tally identically whether
+	// the run was serial or sharded.
+	clusters := out.Clustering.Clusters
+	vals := make([]cluster.Validation, len(clusters))
+	done := make([]bool, len(clusters))
+	pool := parallel.Pool{Workers: p.ClusterWorkers, Telemetry: reg, Stage: StageValidate}
+	perr := pool.ForEach(ctx, len(clusters), func(i int) {
+		vals[i] = cluster.Validate(clusters[i], rp, p.ValidatePairs, p.Seed)
+		done[i] = true
+	})
+	out.Validations = make(map[int]cluster.Validation, len(clusters))
 	validated := make(map[int]bool)
-	for _, c := range out.Clustering.Clusters {
-		if err := ctx.Err(); err != nil {
-			return out, err
+	for i, c := range clusters {
+		if !done[i] {
+			continue
 		}
-		v := cluster.Validate(c, rp, p.ValidatePairs, p.Seed)
+		v := vals[i]
 		out.Validations[c.ID] = v
 		pairsChecked.Add(int64(v.PairsChecked))
 		identicalPairs.Add(int64(v.IdenticalPairs))
 		reprobed.Add(int64(v.Reprobed))
-		// Accept the paper's strict all-pairs-identical criterion, or a
-		// dominant modal set: availability churn leaves a few members
-		// of a truly homogeneous cluster with incomplete observations,
-		// and a >=90% modal agreement cannot come from a cluster that
-		// wrongly mixed two aggregates.
-		if v.Homogeneous || (v.Reprobed >= 4 && v.ModalShare >= 0.9) {
+		if v.Passes() {
 			validated[c.ID] = true
 			accepted.Inc()
 		}
 	}
 	out.Validated = validated
+	if perr != nil {
+		// Cancelled mid-validation: the merged prefix stays inspectable,
+		// but no final block list is produced.
+		return out, perr
+	}
 	out.Final = cluster.ApplyValidated(out.Clustering, validated)
 	reg.Counter("validate.final_blocks").Add(int64(len(out.Final)))
 	return out, nil

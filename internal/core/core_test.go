@@ -194,13 +194,18 @@ func TestPipelineTelemetryDeterministic(t *testing.T) {
 }
 
 // TestPipelineOutputDeterministic is the determinism regression check the
-// lint suite exists to protect: two full same-seed pipeline runs over two
+// lint suite exists to protect: full same-seed pipeline runs over
 // same-seed worlds must serialize to byte-identical JSON — block lists,
-// cluster validations, everything an operator would diff between runs.
+// cluster validations, everything an operator would diff between runs —
+// no matter how the work was sharded. It compares a serial
+// (ClusterWorkers=1) run against parallel (ClusterWorkers=8) runs, which
+// checks both cross-configuration equality and that the parallel path is
+// self-deterministic.
 func TestPipelineOutputDeterministic(t *testing.T) {
-	run := func() []byte {
+	run := func(clusterWorkers int) []byte {
 		_, p := testPipeline(t, 300)
 		p.Workers = 4 // concurrency must not leak into the result
+		p.ClusterWorkers = clusterWorkers
 		out, err := p.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
@@ -217,9 +222,14 @@ func TestPipelineOutputDeterministic(t *testing.T) {
 		}
 		return j
 	}
-	j1, j2 := run(), run()
-	if !bytes.Equal(j1, j2) {
-		t.Errorf("same-seed pipeline outputs differ:\n%.400s\n%.400s", j1, j2)
+	serial := run(1)
+	parallel1, parallel2 := run(8), run(8)
+	if !bytes.Equal(serial, parallel1) {
+		t.Errorf("serial (ClusterWorkers=1) and parallel (ClusterWorkers=8) outputs differ:\n%.400s\n%.400s",
+			serial, parallel1)
+	}
+	if !bytes.Equal(parallel1, parallel2) {
+		t.Errorf("same-seed parallel pipeline outputs differ:\n%.400s\n%.400s", parallel1, parallel2)
 	}
 }
 

@@ -6,18 +6,22 @@ import (
 )
 
 // AnalyzerBareGo flags `go` statements whose goroutine is not visibly
-// joined. The repo's concurrency idiom is the WaitGroup-managed worker
-// pool (hobbit.Campaign.Run): every spawned goroutine either defers
-// wg.Done() or owns the pool shutdown (calls wg.Wait()). A bare `go`
-// outside that pattern has unbounded lifetime — it can outlive the
-// pipeline run, keep writing telemetry after a snapshot, or leak under
-// test — so it must either adopt the pattern or carry an explicit
-// //lint:ignore bare-go justification.
+// joined. The repo's concurrency idioms are the WaitGroup-managed worker
+// pool (hobbit.Campaign.Run, internal/parallel): every spawned goroutine
+// either defers wg.Done(), owns the pool shutdown (calls wg.Wait()), or
+// is a named worker launched by a function that itself registers and
+// joins the pool (wg.Add before the launches, wg.Wait after — the shape
+// of parallel.Pool.ForEach). A bare `go` outside those patterns has
+// unbounded lifetime — it can outlive the pipeline run, keep writing
+// telemetry after a snapshot, or leak under test — so it must either
+// adopt a pattern or carry an explicit //lint:ignore bare-go
+// justification.
 var AnalyzerBareGo = &Analyzer{
 	Name: "bare-go",
-	Doc: "flag go statements outside the WaitGroup worker-pool pattern " +
-		"(defer wg.Done() in the goroutine, or the goroutine owns " +
-		"wg.Wait()); unjoined goroutines have unbounded lifetime",
+	Doc: "flag go statements outside the WaitGroup worker-pool patterns " +
+		"(defer wg.Done() in the goroutine, the goroutine owns wg.Wait(), " +
+		"or a named worker whose launcher calls wg.Add and wg.Wait); " +
+		"unjoined goroutines have unbounded lifetime",
 	Run: runBareGo,
 }
 
@@ -28,15 +32,51 @@ func runBareGo(p *Pass, report func(pos token.Pos, format string, args ...any)) 
 			if !ok {
 				return true
 			}
-			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok && joinsPool(lit.Body) {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				if joinsPool(lit.Body) {
+					return true
+				}
+			} else if body := enclosingFuncBody(f, g.Pos()); body != nil && ownsJoin(body) {
+				// A named worker (go claim(...)) cannot show its defer
+				// wg.Done() at the launch site; the launcher owning both
+				// ends of the join is the visible evidence instead.
 				return true
 			}
 			report(g.Pos(), "bare go statement outside the worker-pool pattern; goroutine lifetime "+
-				"is unbounded — defer wg.Done() inside it, make it own wg.Wait(), or justify "+
+				"is unbounded — defer wg.Done() inside it, make it own wg.Wait(), launch it from "+
+				"a function that calls wg.Add and wg.Wait, or justify "+
 				"with //lint:ignore bare-go <reason>")
 			return true
 		})
 	}
+}
+
+// enclosingFuncBody returns the innermost function body containing pos.
+func enclosingFuncBody(f *ast.File, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			body = d.Body
+		case *ast.FuncLit:
+			body = d.Body
+		default:
+			return true
+		}
+		if body != nil && body.Pos() <= pos && pos < body.End() {
+			best = body
+		}
+		return true
+	})
+	return best
+}
+
+// ownsJoin reports whether the launcher body both registers workers
+// (calls .Add) and joins them (calls .Wait) — the launcher-owns-the-join
+// pool shape internal/parallel uses for its named worker launches.
+func ownsJoin(body *ast.BlockStmt) bool {
+	return containsCallNamed(body, "Add") && containsCallNamed(body, "Wait")
 }
 
 // joinsPool reports whether the goroutine body participates in a joined

@@ -1,0 +1,48 @@
+// Package baregolauncherpkg is a lint fixture for the launcher-owns-the-
+// join recognition: named worker functions launched by a function that
+// calls wg.Add and wg.Wait (internal/parallel's ForEach shape) are
+// sanctioned; named launches nothing joins are flagged.
+package baregolauncherpkg
+
+import "sync"
+
+// PoolLaunch mirrors parallel.Pool.ForEach: the launcher registers every
+// worker up front and joins them before returning. The named launches are
+// not flagged.
+func PoolLaunch(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go worker(&wg)
+	}
+	wg.Wait()
+}
+
+// FireNamed launches a named function nothing joins: flagged.
+func FireNamed() {
+	go leak()
+}
+
+// AddWithoutWait registers workers but never joins them: still flagged —
+// Add alone is not a join.
+func AddWithoutWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+}
+
+// NestedLauncher joins in the outer function while the launch happens in
+// an inner closure: flagged — the innermost enclosing function must own
+// the join for the lifetime to be visible.
+func NestedLauncher() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	func() {
+		go worker(&wg)
+	}()
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) { wg.Done() }
+
+func leak() {}

@@ -7,10 +7,12 @@
 package mcl
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"github.com/hobbitscan/hobbit/internal/graph"
+	"github.com/hobbitscan/hobbit/internal/parallel"
 )
 
 // Options configures an MCL run.
@@ -30,7 +32,18 @@ type Options struct {
 	// Epsilon is the convergence threshold on the largest entry change
 	// between rounds. Default 1e-6.
 	Epsilon float64
+	// Workers bounds the column shards of the expansion/inflation rounds
+	// (0 = GOMAXPROCS, 1 = serial). Every output column of M*M is
+	// independent, so sharding cannot change the result; matrices smaller
+	// than parallelMinColumns always run serially to keep goroutine
+	// overhead off the many tiny per-component runs.
+	Workers int
 }
+
+// parallelMinColumns is the matrix size below which a round is always
+// computed serially: the similarity graphs split into many small
+// components, and fan-out overhead would dominate their O(n) columns.
+const parallelMinColumns = 128
 
 func (o Options) withDefaults() Options {
 	if o.Inflation <= 1 {
@@ -100,57 +113,78 @@ func normalize(col []entry) []entry {
 	return col
 }
 
-// expand computes M' = M * M using a dense scratch accumulator per
-// column.
-func (m matrix) expand(scratch []float64, touched []int) matrix {
-	n := len(m)
-	out := make(matrix, n)
-	for j := 0; j < n; j++ {
-		touched = touched[:0]
-		for _, e := range m[j] {
-			colI := m[e.row]
-			for _, f := range colI {
-				if scratch[f.row] == 0 {
-					touched = append(touched, f.row)
-				}
-				scratch[f.row] += e.val * f.val
+// expandColumn computes column j of M' = M * M using the caller's dense
+// scratch accumulator, returning the sorted sparse column. The
+// accumulation order over m[j]'s entries is fixed by the column layout,
+// so the floating-point result is identical no matter which worker
+// computes the column.
+func (m matrix) expandColumn(j int, scratch []float64, touched []int) ([]entry, []int) {
+	touched = touched[:0]
+	for _, e := range m[j] {
+		colI := m[e.row]
+		for _, f := range colI {
+			if scratch[f.row] == 0 {
+				touched = append(touched, f.row)
 			}
+			scratch[f.row] += e.val * f.val
 		}
-		sort.Ints(touched)
-		col := make([]entry, 0, len(touched))
-		for _, r := range touched {
-			col = append(col, entry{row: r, val: scratch[r]})
-			scratch[r] = 0
-		}
-		out[j] = col
 	}
-	return out
+	sort.Ints(touched)
+	col := make([]entry, 0, len(touched))
+	for _, r := range touched {
+		col = append(col, entry{row: r, val: scratch[r]})
+		scratch[r] = 0
+	}
+	return col, touched
 }
 
-// inflate raises entries to the power r, prunes small values, and
-// renormalizes each column.
-func (m matrix) inflate(r, prune float64) {
-	for j := range m {
-		col := m[j]
-		for i := range col {
-			col[i].val = math.Pow(col[i].val, r)
-		}
-		var sum float64
-		for _, e := range col {
-			sum += e.val
-		}
-		if sum == 0 {
-			continue
-		}
-		out := col[:0]
-		for _, e := range col {
-			v := e.val / sum
-			if v >= prune {
-				out = append(out, entry{row: e.row, val: v})
-			}
-		}
-		m[j] = normalize(out)
+// inflateColumn raises the column's entries to the power r, prunes small
+// values, and renormalizes.
+func inflateColumn(col []entry, r, prune float64) []entry {
+	for i := range col {
+		col[i].val = math.Pow(col[i].val, r)
 	}
+	var sum float64
+	for _, e := range col {
+		sum += e.val
+	}
+	if sum == 0 {
+		return col
+	}
+	out := col[:0]
+	for _, e := range col {
+		v := e.val / sum
+		if v >= prune {
+			out = append(out, entry{row: e.row, val: v})
+		}
+	}
+	return normalize(out)
+}
+
+// step computes one expansion + inflation round: out column j is column j
+// of M*M, inflated and pruned. Columns are independent, so they are
+// computed in contiguous shards — one dense scratch accumulator each —
+// and written to distinct slots of the output matrix; shard boundaries
+// cannot change any column's value, so the round is bit-identical to a
+// serial pass.
+func (m matrix) step(pool parallel.Pool, r, prune float64) matrix {
+	n := len(m)
+	out := make(matrix, n)
+	if n < parallelMinColumns {
+		pool.Workers = 1
+	}
+	// Background context: a round is the unit of cancellation-free work;
+	// callers cancel between MCL runs, not inside one.
+	_ = pool.Shards(context.Background(), n, func(_, lo, hi int) {
+		scratch := make([]float64, n)
+		touched := make([]int, 0, n)
+		for j := lo; j < hi; j++ {
+			var col []entry
+			col, touched = m.expandColumn(j, scratch, touched)
+			out[j] = inflateColumn(col, r, prune)
+		}
+	})
+	return out
 }
 
 // delta returns the largest absolute entry difference between two
@@ -194,11 +228,9 @@ func Cluster(g *graph.Graph, opts Options) [][]int {
 		return nil
 	}
 	m := fromGraph(g, opts.SelfLoop)
-	scratch := make([]float64, n)
-	touched := make([]int, 0, n)
+	pool := parallel.Pool{Workers: opts.Workers}
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		next := m.expand(scratch, touched)
-		next.inflate(opts.Inflation, opts.Prune)
+		next := m.step(pool, opts.Inflation, opts.Prune)
 		if delta(m, next) < opts.Epsilon {
 			m = next
 			break

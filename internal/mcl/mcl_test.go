@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/hobbitscan/hobbit/internal/graph"
+	"github.com/hobbitscan/hobbit/internal/parallel"
 )
 
 // twoCliques builds two dense clusters joined by one weak edge.
@@ -124,10 +125,75 @@ func TestMatrixStochasticInvariant(t *testing.T) {
 	}
 	checkStochastic(m, "initial")
 	scratch := make([]float64, g.Len())
-	m = m.expand(scratch, nil)
-	checkStochastic(m, "expanded")
-	m.inflate(2.0, 1e-5)
-	checkStochastic(m, "inflated")
+	expanded := make(matrix, g.Len())
+	for j := range m {
+		expanded[j], _ = m.expandColumn(j, scratch, nil)
+	}
+	checkStochastic(expanded, "expanded")
+	for j := range expanded {
+		expanded[j] = inflateColumn(expanded[j], 2.0, 1e-5)
+	}
+	checkStochastic(expanded, "inflated")
+}
+
+// bridgedFamilies builds several dense families joined by weak bridges,
+// the shape of the real similarity-graph components, large enough that
+// the column shards of step actually engage (n >= parallelMinColumns).
+func bridgedFamilies(families, size int) *graph.Graph {
+	g := graph.New(families * size)
+	for f := 0; f < families; f++ {
+		base := f * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if (i+j)%3 == 0 {
+					g.AddEdge(base+i, base+j, 0.8)
+				}
+			}
+		}
+		if f > 0 {
+			g.AddEdge(base, base-size, 0.05)
+		}
+	}
+	return g
+}
+
+// TestClusterWorkersIdentical is the mcl half of the PR's determinism
+// contract: serial (Workers=1) and sharded (Workers=8) runs must produce
+// identical clusterings, and the underlying flow matrices must match
+// entry for entry (bit-identical floats — sharding only moves columns
+// between goroutines, never reorders the arithmetic inside one).
+func TestClusterWorkersIdentical(t *testing.T) {
+	g := bridgedFamilies(8, 32) // 256 vertices: above parallelMinColumns
+	serial := Cluster(g, Options{Workers: 1})
+	sharded := Cluster(g, Options{Workers: 8})
+	if len(serial) != len(sharded) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(serial), len(sharded))
+	}
+	for i := range serial {
+		if len(serial[i]) != len(sharded[i]) {
+			t.Fatalf("cluster %d sizes differ", i)
+		}
+		for j := range serial[i] {
+			if serial[i][j] != sharded[i][j] {
+				t.Fatalf("cluster %d member %d differs", i, j)
+			}
+		}
+	}
+
+	// One full round, matrix compared exactly.
+	m := fromGraph(g, 1.0)
+	s1 := m.step(parallel.Pool{Workers: 1}, 2.0, 1e-5)
+	s8 := m.step(parallel.Pool{Workers: 8}, 2.0, 1e-5)
+	for j := range s1 {
+		if len(s1[j]) != len(s8[j]) {
+			t.Fatalf("column %d lengths differ: %d vs %d", j, len(s1[j]), len(s8[j]))
+		}
+		for k := range s1[j] {
+			if s1[j][k] != s8[j][k] {
+				t.Fatalf("column %d entry %d differs: %v vs %v", j, k, s1[j][k], s8[j][k])
+			}
+		}
+	}
 }
 
 func TestDeterministic(t *testing.T) {
