@@ -102,7 +102,7 @@ func BenchmarkProbe(b *testing.B) {
 	}
 }
 
-func BenchmarkMDAFullTrace(b *testing.B) {
+func BenchmarkMDA(b *testing.B) {
 	l := lab(b)
 	out, err := l.Pipeline()
 	if err != nil {
@@ -167,12 +167,20 @@ func BenchmarkMeasureBlock(b *testing.B) {
 	b.ReportMetric(float64(counter.Probes())/float64(b.N), "probes/block")
 }
 
-func BenchmarkCensusScan(b *testing.B) {
+// BenchmarkCensus sweeps 500 blocks through the ZMap census, serial
+// against an 8-worker pool; the dataset is identical either way (see
+// TestScanWorkersIdentical), so only the wall clock may differ.
+func BenchmarkCensus(b *testing.B) {
 	l := lab(b)
 	blocks := l.World.Blocks()[:500]
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		zmap.Scan(l.World, blocks)
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				zmap.ScanWith(l.World, blocks, zmap.ScanOptions{Workers: workers})
+			}
+		})
 	}
 }
 
@@ -201,7 +209,7 @@ func BenchmarkMCLCore(b *testing.B) {
 	}
 }
 
-// --- Parallel-stage benchmarks (regressed against BENCH_3.json) ---
+// --- Parallel-stage benchmarks (regressed against BENCH_4.json) ---
 //
 // Each compares the serial path (workers-1) against an 8-worker pool over
 // the same inputs; the outputs are byte-identical by contract (see
@@ -567,23 +575,29 @@ func BenchmarkCampaign(b *testing.B) {
 	if len(blocks) > 300 {
 		blocks = blocks[:300]
 	}
-	net := probe.Instrument(l.Net, nil, "measure")
-	c := &hobbit.Campaign{
-		Measurer: &hobbit.Measurer{Net: net, Seed: 1},
-		Dataset:  out.Dataset,
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			net := probe.Instrument(l.Net, nil, "measure")
+			c := &hobbit.Campaign{
+				Measurer: &hobbit.Measurer{Net: net, Seed: 1},
+				Dataset:  out.Dataset,
+				Workers:  workers,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := c.Run(context.Background(), blocks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Summary().Total != len(blocks) {
+					b.Fatal("incomplete campaign")
+				}
+			}
+			b.ReportMetric(float64(len(blocks)), "blocks/op")
+			b.ReportMetric(float64(net.Probes())/float64(b.N)/float64(len(blocks)), "probes/block")
+		})
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := c.Run(context.Background(), blocks)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Summary().Total != len(blocks) {
-			b.Fatal("incomplete campaign")
-		}
-	}
-	b.ReportMetric(float64(len(blocks)), "blocks/op")
-	b.ReportMetric(float64(net.Probes())/float64(b.N)/float64(len(blocks)), "probes/block")
 }
 
 // BenchmarkPipelineStages runs the end-to-end pipeline with telemetry and

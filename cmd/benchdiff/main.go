@@ -1,12 +1,13 @@
 // Command benchdiff compares two `go test -bench` result sets and fails
 // when any benchmark regresses. It is the CI gate that keeps the
 // BENCH_*.json baselines honest: the bench job reruns the suite and
-// benchdiff exits non-zero if any benchmark's ns/op grew beyond the
-// allowed fraction over the checked-in baseline.
+// benchdiff exits non-zero if any benchmark's ns/op, B/op, or allocs/op
+// grew beyond the allowed fraction over the checked-in baseline.
 //
 // Usage:
 //
-//	benchdiff [-max-regress F] [-write FILE] OLD [NEW]
+//	benchdiff [-max-regress F] [-max-regress-bytes F] [-max-regress-allocs F]
+//	          [-write FILE] OLD [NEW]
 //
 // OLD and NEW are each either raw `go test -bench` output or a JSON file
 // previously produced by -write (detected by content, not extension).
@@ -15,12 +16,15 @@
 // baseline format — how BENCH_<pr>.json baselines are produced:
 //
 //	go test -bench=. -benchtime=1x -benchmem . > bench.txt
-//	go run ./cmd/benchdiff -write BENCH_3.json bench.txt
+//	go run ./cmd/benchdiff -write BENCH_4.json bench.txt
 //
-// Only ns/op is gated; bytes/op and allocs/op are carried in the JSON for
-// human inspection. Benchmarks present in only one input are reported but
-// never fail the run (suites grow; baselines are refreshed by the PR that
-// grows them).
+// All three metrics are gated. B/op and allocs/op additionally enforce a
+// zero-baseline rule: a benchmark whose baseline is allocation-free must
+// stay allocation-free — any growth from zero is a regression, since a
+// fractional threshold over zero would allow anything. Baselines must
+// therefore be recorded with -benchmem, as the CI bench job does.
+// Benchmarks present in only one input are reported but never fail the
+// run (suites grow; baselines are refreshed by the PR that grows them).
 package main
 
 import (
@@ -52,10 +56,12 @@ type File struct {
 func main() {
 	var (
 		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed fractional ns/op growth before failing (0.20 = +20%)")
+		maxBytes   = flag.Float64("max-regress-bytes", 0.20, "maximum allowed fractional B/op growth (zero baselines allow no growth at all)")
+		maxAllocs  = flag.Float64("max-regress-allocs", 0.20, "maximum allowed fractional allocs/op growth (zero baselines allow no growth at all)")
 		write      = flag.String("write", "", "write the last input's parsed results to this JSON file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress F] [-write FILE] OLD [NEW]")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress F] [-max-regress-bytes F] [-max-regress-allocs F] [-write FILE] OLD [NEW]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -80,7 +86,7 @@ func main() {
 		}
 	}
 	if flag.NArg() == 2 {
-		report := Compare(sets[0], sets[1], *maxRegress)
+		report := Compare(sets[0], sets[1], Limits{NsPerOp: *maxRegress, BytesPerOp: *maxBytes, AllocsPerOp: *maxAllocs})
 		fmt.Print(report.String())
 		if len(report.Regressions) > 0 {
 			os.Exit(1)
@@ -199,10 +205,11 @@ func commonProcSuffix(lines []rawLine) string {
 	return suffix
 }
 
-// Delta is one compared benchmark.
+// Delta is one compared (benchmark, metric) pair.
 type Delta struct {
 	Name     string
-	Old, New float64 // ns/op
+	Metric   string // "ns/op", "B/op", or "allocs/op"
+	Old, New float64
 }
 
 // Ratio is New/Old (1.0 = unchanged; 0 when Old is 0).
@@ -213,19 +220,28 @@ func (d Delta) Ratio() float64 {
 	return d.New / d.Old
 }
 
-// Report is the outcome of a comparison.
-type Report struct {
-	Regressions []Delta // ns/op grew beyond the threshold
-	Compared    []Delta // every benchmark present in both sets
-	OnlyOld     []string
-	OnlyNew     []string
-	MaxRegress  float64
+// Limits holds the per-metric fractional growth allowances.
+type Limits struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
 }
 
-// Compare evaluates new against old: any benchmark whose ns/op grew by
-// more than maxRegress (fractional) is a regression.
-func Compare(old, new map[string]Metrics, maxRegress float64) Report {
-	r := Report{MaxRegress: maxRegress}
+// Report is the outcome of a comparison.
+type Report struct {
+	Regressions []Delta // any metric grew beyond its threshold
+	Compared    []Delta // ns/op of every benchmark present in both sets
+	OnlyOld     []string
+	OnlyNew     []string
+	Limits      Limits
+}
+
+// Compare evaluates new against old. A benchmark regresses when any gated
+// metric grew by more than its fractional limit — and, for B/op and
+// allocs/op, when a zero baseline grew at all: zero-alloc paths are a
+// contract, and a fractional threshold over zero would allow anything.
+func Compare(old, new map[string]Metrics, lim Limits) Report {
+	r := Report{Limits: lim}
 	names := make([]string, 0, len(old))
 	for name := range old {
 		names = append(names, name)
@@ -237,10 +253,24 @@ func Compare(old, new map[string]Metrics, maxRegress float64) Report {
 			r.OnlyOld = append(r.OnlyOld, name)
 			continue
 		}
-		d := Delta{Name: name, Old: old[name].NsPerOp, New: n.NsPerOp}
-		r.Compared = append(r.Compared, d)
-		if d.Old > 0 && d.New > d.Old*(1+maxRegress) {
-			r.Regressions = append(r.Regressions, d)
+		o := old[name]
+		r.Compared = append(r.Compared, Delta{Name: name, Metric: "ns/op", Old: o.NsPerOp, New: n.NsPerOp})
+		checks := []struct {
+			metric    string
+			old, new  float64
+			limit     float64
+			gateZeros bool
+		}{
+			{"ns/op", o.NsPerOp, n.NsPerOp, lim.NsPerOp, false},
+			{"B/op", o.BytesPerOp, n.BytesPerOp, lim.BytesPerOp, true},
+			{"allocs/op", o.AllocsPerOp, n.AllocsPerOp, lim.AllocsPerOp, true},
+		}
+		for _, c := range checks {
+			grew := (c.old > 0 && c.new > c.old*(1+c.limit)) ||
+				(c.gateZeros && c.old == 0 && c.new > 0)
+			if grew {
+				r.Regressions = append(r.Regressions, Delta{Name: name, Metric: c.metric, Old: c.old, New: c.new})
+			}
 		}
 	}
 	for name := range new {
@@ -252,13 +282,30 @@ func Compare(old, new map[string]Metrics, maxRegress float64) Report {
 	return r
 }
 
+// limitFor returns the allowance that applied to the delta's metric.
+func (r Report) limitFor(metric string) float64 {
+	switch metric {
+	case "B/op":
+		return r.Limits.BytesPerOp
+	case "allocs/op":
+		return r.Limits.AllocsPerOp
+	default:
+		return r.Limits.NsPerOp
+	}
+}
+
 // String renders the report for the CI log: regressions first, then the
 // full comparison, then coverage differences.
 func (r Report) String() string {
 	var b strings.Builder
 	for _, d := range r.Regressions {
-		fmt.Fprintf(&b, "REGRESSION %-60s %14.1f -> %14.1f ns/op (%.2fx > allowed %.2fx)\n",
-			d.Name, d.Old, d.New, d.Ratio(), 1+r.MaxRegress)
+		if d.Old == 0 {
+			fmt.Fprintf(&b, "REGRESSION %-60s %14.1f -> %14.1f %s (zero baseline must not grow)\n",
+				d.Name, d.Old, d.New, d.Metric)
+			continue
+		}
+		fmt.Fprintf(&b, "REGRESSION %-60s %14.1f -> %14.1f %s (%.2fx > allowed %.2fx)\n",
+			d.Name, d.Old, d.New, d.Metric, d.Ratio(), 1+r.limitFor(d.Metric))
 	}
 	for _, d := range r.Compared {
 		fmt.Fprintf(&b, "ok         %-60s %14.1f -> %14.1f ns/op (%.2fx)\n", d.Name, d.Old, d.New, d.Ratio())

@@ -107,7 +107,7 @@ func TestCompare(t *testing.T) {
 		"BenchmarkAtLimit": {NsPerOp: 1200}, // exactly +20% passes
 		"BenchmarkNew":     {NsPerOp: 99},
 	}
-	r := Compare(old, new, 0.20)
+	r := Compare(old, new, Limits{NsPerOp: 0.20, BytesPerOp: 0.20, AllocsPerOp: 0.20})
 	if len(r.Regressions) != 1 || r.Regressions[0].Name != "BenchmarkSlower" {
 		t.Errorf("regressions = %+v, want exactly BenchmarkSlower", r.Regressions)
 	}
@@ -135,12 +135,68 @@ func TestCompareNoRegressionsAgainstSelf(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := Compare(set, set, 0.20)
+	r := Compare(set, set, Limits{NsPerOp: 0.20, BytesPerOp: 0.20, AllocsPerOp: 0.20})
 	if len(r.Regressions) != 0 {
 		t.Errorf("self-comparison regressed: %+v", r.Regressions)
 	}
 	if len(r.OnlyOld)+len(r.OnlyNew) != 0 {
 		t.Errorf("self-comparison drifted: %v %v", r.OnlyOld, r.OnlyNew)
+	}
+}
+
+// TestCompareMemoryMetrics pins the B/op and allocs/op gates, including
+// the zero-baseline rule: a benchmark recorded allocation-free must stay
+// allocation-free.
+func TestCompareMemoryMetrics(t *testing.T) {
+	old := map[string]Metrics{
+		"BenchmarkBytes":    {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkAllocs":   {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkZero":     {NsPerOp: 100},
+		"BenchmarkZeroOK":   {NsPerOp: 100},
+		"BenchmarkShrink":   {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkMultiBad": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+	}
+	new := map[string]Metrics{
+		"BenchmarkBytes":    {NsPerOp: 100, BytesPerOp: 1300, AllocsPerOp: 10}, // +30% B/op
+		"BenchmarkAllocs":   {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 13}, // +30% allocs/op
+		"BenchmarkZero":     {NsPerOp: 100, BytesPerOp: 16, AllocsPerOp: 1},    // grew from zero
+		"BenchmarkZeroOK":   {NsPerOp: 100},                                    // stayed zero
+		"BenchmarkShrink":   {NsPerOp: 100, BytesPerOp: 100, AllocsPerOp: 1},   // improvements pass
+		"BenchmarkMultiBad": {NsPerOp: 200, BytesPerOp: 2000, AllocsPerOp: 20}, // all three regress
+	}
+	r := Compare(old, new, Limits{NsPerOp: 0.20, BytesPerOp: 0.20, AllocsPerOp: 0.20})
+	got := map[string]bool{}
+	for _, d := range r.Regressions {
+		got[d.Name+" "+d.Metric] = true
+	}
+	want := []string{
+		"BenchmarkBytes B/op",
+		"BenchmarkAllocs allocs/op",
+		"BenchmarkZero B/op",
+		"BenchmarkZero allocs/op",
+		"BenchmarkMultiBad ns/op",
+		"BenchmarkMultiBad B/op",
+		"BenchmarkMultiBad allocs/op",
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing regression %q in %+v", w, r.Regressions)
+		}
+	}
+	if len(r.Regressions) != len(want) {
+		t.Errorf("got %d regressions, want %d: %+v", len(r.Regressions), len(want), r.Regressions)
+	}
+	// Compared stays one ns/op delta per benchmark regardless of how many
+	// metrics regressed, so the summary count means "benchmarks".
+	if len(r.Compared) != 6 {
+		t.Errorf("compared %d benchmarks, want 6", len(r.Compared))
+	}
+	out := r.String()
+	if !strings.Contains(out, "zero baseline must not grow") {
+		t.Errorf("report does not explain the zero-baseline rule:\n%s", out)
+	}
+	if !strings.Contains(out, "6 compared, 7 regressions") {
+		t.Errorf("report missing summary line:\n%s", out)
 	}
 }
 
@@ -187,7 +243,7 @@ func TestProcSuffixCrossMatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := Compare(old, new, 0.20)
+	r := Compare(old, new, Limits{NsPerOp: 0.20, BytesPerOp: 0.20, AllocsPerOp: 0.20})
 	if len(r.Compared) != 2 || len(r.OnlyOld)+len(r.OnlyNew) != 0 {
 		t.Errorf("cross-GOMAXPROCS names did not line up: %+v", r)
 	}

@@ -7,8 +7,9 @@
 // Usage:
 //
 //	hobbit [-blocks N] [-scale F] [-seed S] [-workers W]
-//	       [-cluster-workers W] [-skip-clustering] [-dump FILE] [-top N]
-//	       [-json] [-progress] [-metrics-addr HOST:PORT]
+//	       [-census-workers W] [-cluster-workers W] [-skip-clustering]
+//	       [-dump FILE] [-top N] [-json] [-progress]
+//	       [-metrics-addr HOST:PORT]
 //
 // Every run is instrumented: -json emits a machine-readable summary with
 // a telemetry section (per-stage durations, per-stage probe counts,
@@ -43,6 +44,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0x40bb17, "world and measurement seed")
 		workers  = flag.Int("workers", 0, "measurement workers (0 = GOMAXPROCS)")
 		clWorker = flag.Int("cluster-workers", 0, "post-campaign stage workers: similarity graph, MCL, validation (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
+		cnWorker = flag.Int("census-workers", 0, "census sweep workers (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		skipCl   = flag.Bool("skip-clustering", false, "stop after identical-set aggregation")
 		dump     = flag.String("dump", "", "write the final homogeneous block map to this file")
 		top      = flag.Int("top", 15, "number of largest blocks to characterize")
@@ -54,7 +56,7 @@ func main() {
 
 	if err := run(context.Background(), runConfig{
 		blocks: *blocks, scale: *scale, seed: *seed, workers: *workers,
-		clusterWorkers: *clWorker,
+		clusterWorkers: *clWorker, censusWorkers: *cnWorker,
 		skipClustering: *skipCl, dump: *dump, top: *top, json: *jsonOut,
 		progress: *progress, metricsAddr: *metrics,
 	}); err != nil {
@@ -69,6 +71,7 @@ type runConfig struct {
 	seed           uint64
 	workers        int
 	clusterWorkers int
+	censusWorkers  int
 	skipClustering bool
 	dump           string
 	top            int
@@ -119,6 +122,7 @@ func run(ctx context.Context, rc runConfig) error {
 		Seed:           rc.seed,
 		Workers:        rc.workers,
 		ClusterWorkers: rc.clusterWorkers,
+		CensusWorkers:  rc.censusWorkers,
 		SkipClustering: rc.skipClustering,
 		ValidatePairs:  20000,
 		Telemetry:      reg,

@@ -47,16 +47,25 @@ func Key(lastHops []iputil.Addr) string {
 // Results with empty last-hop sets are skipped. Output blocks are ordered
 // by their smallest member /24; member lists and last-hop sets are sorted.
 func Identical(results []*hobbit.BlockResult) []*Block {
+	return IdenticalInterned(results, NewInterner())
+}
+
+// IdenticalInterned is Identical drawing its last-hop storage from the
+// given interner: every output block's LastHops is the interner's
+// canonical slice for its set, so blocks with equal sets — within this
+// call and across calls sharing the interner — alias the same backing
+// array.
+func IdenticalInterned(results []*hobbit.BlockResult, in *Interner) []*Block {
 	byKey := make(map[string]*Block)
 	var order []*Block
 	for _, r := range results {
 		if len(r.LastHops) == 0 {
 			continue
 		}
-		k := Key(r.LastHops)
+		set, k := in.Intern(r.LastHops)
 		blk, ok := byKey[k]
 		if !ok {
-			blk = &Block{LastHops: append([]iputil.Addr(nil), r.LastHops...)}
+			blk = &Block{LastHops: set}
 			byKey[k] = blk
 			order = append(order, blk)
 		}

@@ -1,0 +1,58 @@
+package aggregate
+
+import (
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/hobbit"
+)
+
+// TestInternSharing pins the interning contract: two blocks with equal
+// last-hop sets — within one aggregation and across aggregations sharing
+// the interner — alias the same backing slice.
+func TestInternSharing(t *testing.T) {
+	in := NewInterner()
+	first := IdenticalInterned([]*hobbit.BlockResult{
+		res("10.0.0.0", "1.1.1.1", "2.2.2.2"),
+		res("10.0.1.0", "3.3.3.3"),
+	}, in)
+	second := IdenticalInterned([]*hobbit.BlockResult{
+		res("10.0.2.0", "2.2.2.2", "1.1.1.1"),
+	}, in)
+	if len(first) != 2 || len(second) != 1 {
+		t.Fatalf("aggregation shape: %d, %d blocks", len(first), len(second))
+	}
+	a, b := first[0].LastHops, second[0].LastHops
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("last-hop sets: %v, %v", a, b)
+	}
+	if &a[0] != &b[0] {
+		t.Error("equal last-hop sets do not share a backing slice")
+	}
+	if &a[0] == &first[1].LastHops[0] {
+		t.Error("distinct sets must not share storage")
+	}
+	if in.Len() != 2 {
+		t.Errorf("interner holds %d sets, want 2", in.Len())
+	}
+}
+
+// TestInternCanonical checks Intern's basic contract directly.
+func TestInternCanonical(t *testing.T) {
+	in := NewInterner()
+	input := hops("9.9.9.9", "8.8.8.8")
+	s1, k1 := in.Intern(input)
+	input[0] = 0 // the interner must not retain the caller's slice
+	s2, k2 := in.Intern(hops("9.9.9.9", "8.8.8.8"))
+	if k1 != k2 {
+		t.Fatalf("keys differ: %q vs %q", k1, k2)
+	}
+	if &s1[0] != &s2[0] {
+		t.Error("second Intern did not return the canonical slice")
+	}
+	want := hops("9.9.9.9", "8.8.8.8")
+	for i := range want {
+		if s2[i] != want[i] {
+			t.Fatalf("canonical slice corrupted: %v", s2)
+		}
+	}
+}

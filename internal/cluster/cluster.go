@@ -470,6 +470,15 @@ func Validate(c *Cluster, rp Reprober, maxPairs int, seed uint64) Validation {
 // realizes the Section 6.6 final results and the Figure 10 "after"
 // distribution.
 func ApplyValidated(res *Result, validated map[int]bool) []*aggregate.Block {
+	return ApplyValidatedInterned(res, validated, nil)
+}
+
+// ApplyValidatedInterned is ApplyValidated drawing merged last-hop sets
+// from the given interner (nil keeps per-block storage): a union set that
+// was already interned — typically because several validated clusters
+// merge onto the same routers — aliases the existing canonical slice
+// instead of holding its own copy.
+func ApplyValidatedInterned(res *Result, validated map[int]bool, in *aggregate.Interner) []*aggregate.Block {
 	var out []*aggregate.Block
 	taken := make(map[*aggregate.Block]bool)
 	for _, c := range res.Clusters {
@@ -490,6 +499,9 @@ func ApplyValidated(res *Result, validated map[int]bool) []*aggregate.Block {
 			merged.LastHops = append(merged.LastHops, lh)
 		}
 		iputil.SortAddrs(merged.LastHops)
+		if in != nil {
+			merged.LastHops, _ = in.Intern(merged.LastHops)
+		}
 		out = append(out, merged)
 	}
 	for _, c := range res.Clusters {

@@ -49,6 +49,11 @@ type Pipeline struct {
 	Seed uint64
 	// Workers bounds measurement concurrency (0 = GOMAXPROCS).
 	Workers int
+	// CensusWorkers bounds the census sweep (0 = GOMAXPROCS, 1 =
+	// serial). The dataset and census counters are byte-identical for
+	// every value: workers fill per-block bitmaps into indexed slots and
+	// the merge applies them in block order.
+	CensusWorkers int
 	// ClusterWorkers bounds the post-campaign stages — similarity-graph
 	// construction, MCL expansion, and reprobe validation (0 =
 	// GOMAXPROCS, 1 = serial). Output is byte-identical for every value:
@@ -141,7 +146,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 	out := &Output{}
 
 	span := reg.StartSpan(StageCensus)
-	out.Dataset = zmap.ScanObserved(p.Scanner, p.Blocks, reg)
+	out.Dataset = zmap.ScanWith(p.Scanner, p.Blocks, zmap.ScanOptions{Workers: p.CensusWorkers, Telemetry: reg})
 	out.Eligible = out.Dataset.EligibleBlocks(p.Blocks, p.minActive())
 	reg.Counter("census.eligible_blocks").Add(int64(len(out.Eligible)))
 	span.End()
@@ -168,7 +173,11 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 
 	span = reg.StartSpan(StageAggregate)
 	homogeneous := out.Campaign.HomogeneousBlocks()
-	out.Aggregates = aggregate.Identical(homogeneous)
+	// One interner backs both the aggregation and the post-validation
+	// merge, so every block that shares a last-hop set — before and after
+	// cluster merging — shares one canonical slice.
+	interner := aggregate.NewInterner()
+	out.Aggregates = aggregate.IdenticalInterned(homogeneous, interner)
 	reg.Counter("aggregate.homogeneous_in").Add(int64(len(homogeneous)))
 	reg.Counter("aggregate.blocks_out").Add(int64(len(out.Aggregates)))
 	span.End()
@@ -233,7 +242,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 		// but no final block list is produced.
 		return out, perr
 	}
-	out.Final = cluster.ApplyValidated(out.Clustering, validated)
+	out.Final = cluster.ApplyValidatedInterned(out.Clustering, validated, interner)
 	reg.Counter("validate.final_blocks").Add(int64(len(out.Final)))
 	return out, nil
 }

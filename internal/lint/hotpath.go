@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerHotpathAlloc keeps declared probe hot paths off the allocator.
+// A function opts in by carrying a `//hobbit:hotpath` directive in its doc
+// comment (the probe primitives in internal/netsim do); inside such a
+// function, constructing an FNV hasher (fnv.New* escapes to the heap
+// through the hash.Hash interface) or converting a string to []byte (a
+// copying allocation) is reported. Both showed up as per-probe
+// allocations in the original rttProfile and are the exact regressions
+// the zero-alloc contract — asserted by testing.AllocsPerRun — would
+// otherwise only catch at test time. Build-time helpers stay unannotated
+// and may hash freely; a deliberate exception inside a hot path uses
+// //lint:ignore hotpath-alloc <reason>.
+var AnalyzerHotpathAlloc = &Analyzer{
+	Name: "hotpath-alloc",
+	Doc: "forbid fnv.New* constructors and []byte(string) conversions " +
+		"inside functions marked //hobbit:hotpath; precompute hashes and " +
+		"byte forms at build time so the probe path stays allocation-free",
+	Run: runHotpathAlloc,
+}
+
+// hotpathDirective is the doc-comment marker declaring a function part of
+// the probe hot path.
+const hotpathDirective = "//hobbit:hotpath"
+
+func runHotpathAlloc(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+	// Hot paths are product code; test files cannot opt in.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pkg, fn := p.PkgFuncCall(f, call); pkg == "hash/fnv" && strings.HasPrefix(fn, "New") {
+					report(call.Pos(), "fnv.%s allocates a hasher inside hot-path %s; precompute the hash at World build time", fn, name)
+					return true
+				}
+				if isStringToBytes(p, call) {
+					report(call.Pos(), "[]byte(string) conversion allocates inside hot-path %s; precompute the byte form at World build time", name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// hobbit:hotpath directive.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// isStringToBytes reports whether the call is a []byte(s) conversion from
+// a string-typed operand. Without type information the argument's kind is
+// unknown and nothing is reported.
+func isStringToBytes(p *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	at, ok := ast.Unparen(call.Fun).(*ast.ArrayType)
+	if !ok || at.Len != nil {
+		return false
+	}
+	if elt, ok := at.Elt.(*ast.Ident); !ok || elt.Name != "byte" {
+		return false
+	}
+	t := p.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

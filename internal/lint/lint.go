@@ -130,6 +130,7 @@ func Suite() []*Analyzer {
 		AnalyzerTelemetryNames,
 		AnalyzerMutexCopy,
 		AnalyzerBareGo,
+		AnalyzerHotpathAlloc,
 	}
 }
 

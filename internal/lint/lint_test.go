@@ -72,6 +72,7 @@ func TestSuiteNames(t *testing.T) {
 	want := []string{
 		"nondeterm-rand", "nondeterm-maprange", "wallclock",
 		"ctx-loop", "telemetry-names", "mutex-copy", "bare-go",
+		"hotpath-alloc",
 	}
 	suite := Suite()
 	if len(suite) != len(want) {

@@ -1,0 +1,45 @@
+// Package hotpathpkg is a lint fixture: allocation sources inside
+// functions marked //hobbit:hotpath, plus the unannotated and suppressed
+// forms that stay silent.
+package hotpathpkg
+
+import "hash/fnv"
+
+// HotHash builds a hasher per call inside a declared hot path: flagged.
+//
+//hobbit:hotpath
+func HotHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// HotBytes converts a string per call inside a declared hot path: flagged.
+//
+//hobbit:hotpath
+func HotBytes(s string) int {
+	return len([]byte(s))
+}
+
+// BuildHash is the sanctioned build-time form: no annotation, no finding.
+func BuildHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// HotSuppressed shows the escape hatch for a deliberate exception.
+//
+//hobbit:hotpath
+func HotSuppressed(s string) int {
+	//lint:ignore hotpath-alloc cold error branch, never taken per probe
+	b := []byte(s)
+	return len(b)
+}
+
+// HotClean is a hot path with no allocation sources: no finding.
+//
+//hobbit:hotpath
+func HotClean(x uint64) uint64 {
+	return x * 0x9e3779b97f4a7c15
+}

@@ -1,0 +1,70 @@
+// The zero-alloc assertions run only without -race: the race detector
+// instruments allocation sites and perturbs the counts AllocsPerRun sees.
+//
+//go:build !race
+
+package netsim
+
+import (
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// findEcho locates a destination and TTL whose probe elicits an echo
+// reply, so the allocation test covers the reply path (RTT model, default
+// TTL, reverse skew), not just the TTL-exceeded path.
+func findEcho(t *testing.T, w *World) (iputil.Addr, int) {
+	t.Helper()
+	for _, b := range w.Blocks() {
+		for i := 0; i < 256; i += 3 {
+			dst := b.Addr(i)
+			for ttl := 1; ttl <= 12; ttl++ {
+				if w.Probe(dst, ttl, 0, 1).Kind == EchoReply {
+					return dst, ttl
+				}
+			}
+		}
+	}
+	t.Fatal("no echo-replying destination found")
+	return 0, 0
+}
+
+// TestProbeZeroAlloc asserts the steady-state probe contract: with routes
+// and profiles precomputed, Ping, Probe (both reply kinds), and ScanPing
+// perform zero allocations per call.
+func TestProbeZeroAlloc(t *testing.T) {
+	w := testWorld(t, 60)
+	echoDst, echoTTL := findEcho(t, w)
+	vt := w.Vantage(1)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Probe/ttl-exceeded", func() { w.Probe(echoDst, 1, 2, 1) }},
+		{"Probe/echo", func() { w.Probe(echoDst, echoTTL, 0, 1) }},
+		{"Ping", func() { w.Ping(echoDst, 0) }},
+		{"ScanPing", func() { w.ScanPing(echoDst) }},
+		{"Vantage.Probe", func() { vt.Probe(echoDst, 2, 1, 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if avg := testing.AllocsPerRun(200, tc.fn); avg != 0 {
+				t.Errorf("%s allocates %.1f times per call, want 0", tc.name, avg)
+			}
+		})
+	}
+}
+
+// TestProbeZeroAllocUncached asserts the same for the cache-disabled
+// world: the stack-array route walk must not allocate either.
+func TestProbeZeroAllocUncached(t *testing.T) {
+	cfg := testConfig(60)
+	cfg.DisableRouteCache = true
+	w := MustNew(cfg)
+	dst := w.Blocks()[0].Addr(7)
+	if avg := testing.AllocsPerRun(200, func() { w.Probe(dst, 2, 1, 1) }); avg != 0 {
+		t.Errorf("uncached Probe allocates %.1f times per call, want 0", avg)
+	}
+}

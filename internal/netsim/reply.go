@@ -45,12 +45,23 @@ func (w *World) activityMean(rec *blockRec) float64 {
 }
 
 // rate26 returns the per-host activity probability within the /26 holding
-// quarter q of block b.
+// quarter q of block b. The noisy draw is precomputed per (block, quarter)
+// at build time (see precompute), so census-time lookups touch no
+// floating-point transcendentals.
+//
+//hobbit:hotpath
 func (w *World) rate26(b iputil.Block24, q int) float64 {
 	rec, ok := w.blocks[b]
 	if !ok {
 		return 0
 	}
+	return rec.rate26[q]
+}
+
+// buildRate26 derives the activity rate stored in blockRec.rate26; kept
+// identical to the historical per-probe computation so precomputing it
+// changes no reply.
+func (w *World) buildRate26(b iputil.Block24, rec *blockRec, q int) float64 {
 	mu := w.activityMean(rec)
 	noisy := rng.Norm(mu, mu/2.5, w.seed, uint64(b), uint64(q), saltRate26)
 	if noisy < 0.15 {
@@ -67,6 +78,8 @@ func (w *World) rate26(b iputil.Block24, q int) float64 {
 // measurement). Activity is correlated across epochs: a host flips state
 // with probability EpochChurn per epoch, keeping population density
 // stable while individual hosts come and go.
+//
+//hobbit:hotpath
 func (w *World) ScanActive(a iputil.Addr) bool {
 	rate := w.rate26(a.Block24(), a.Block26())
 	if rate == 0 {
@@ -95,6 +108,8 @@ func (w *World) ScanActive(a iputil.Addr) bool {
 // persists reports whether a scan-active host still answers at probe time;
 // the paper saw 54.05M of 64.45M probed destinations respond. Hosts in
 // low-activity blocks churn harder.
+//
+//hobbit:hotpath
 func (w *World) persists(a iputil.Addr) bool {
 	p := w.cfg.PersistProb
 	if rec, ok := w.blocks[a.Block24()]; ok && rec.lowActivity {
@@ -106,6 +121,8 @@ func (w *World) persists(a iputil.Addr) bool {
 // RespondsNow reports whether the destination answers probes at
 // measurement time: the host must be up and its aggregate's edge must not
 // be suffering an outage.
+//
+//hobbit:hotpath
 func (w *World) RespondsNow(a iputil.Addr) bool {
 	if !w.ScanActive(a) || !w.persists(a) {
 		return false
@@ -121,6 +138,8 @@ func (w *World) RespondsNow(a iputil.Addr) bool {
 // ScanPing answers an echo request sent at census time (the ZMap snapshot
 // taken the day before the measurement): availability churn between scan
 // and measurement has not yet happened.
+//
+//hobbit:hotpath
 func (w *World) ScanPing(a iputil.Addr) bool {
 	if _, ok := w.popOf(a); !ok {
 		return false
@@ -132,18 +151,26 @@ var defaultTTLs = [3]int{64, 128, 255}
 
 // hostDefaultTTL returns the initial TTL the destination's OS writes into
 // echo replies.
+//
+//hobbit:hotpath
 func (w *World) hostDefaultTTL(a iputil.Addr) int {
-	weights := []float64{w.cfg.TTLWeights[0], w.cfg.TTLWeights[1], w.cfg.TTLWeights[2]}
-	return defaultTTLs[rng.WeightedChoice(weights, w.seed, uint64(a), saltTTL)]
+	return defaultTTLs[rng.WeightedChoice(w.cfg.TTLWeights[:], w.seed, uint64(a), saltTTL)]
 }
+
+// revSkewWeights is the distribution of non-zero reverse-minus-forward
+// path-length skews; hoisted to package scope so the hot path builds no
+// slice literal.
+var revSkewWeights = []float64{0.4, 0.4, 0.2}
 
 // revSkew is the difference between the host's reverse and forward path
 // lengths; non-zero skews exercise the prober's first_ttl halving logic.
+//
+//hobbit:hotpath
 func (w *World) revSkew(a iputil.Addr) int {
 	if !rng.Bool(w.cfg.PReverseSkew, w.seed, uint64(a), saltSkew) {
 		return 0
 	}
-	switch rng.WeightedChoice([]float64{0.4, 0.4, 0.2}, w.seed, uint64(a), saltSkew, 1) {
+	switch rng.WeightedChoice(revSkewWeights, w.seed, uint64(a), saltSkew, 1) {
 	case 0:
 		return -1
 	case 1:
@@ -153,15 +180,29 @@ func (w *World) revSkew(a iputil.Addr) int {
 	}
 }
 
+// hashString is the build-time string hash behind region RTT bases. It
+// allocates (fnv.New64a escapes through the hash.Hash64 interface), so the
+// probe hot path never calls it: precompute stores the result on the
+// region and the derived profile on each pop.
 func hashString(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
 	return h.Sum64()
 }
 
-// rttProfile returns the delay model for the pop's host population.
+// rttProfile returns the delay model for the pop's host population,
+// precomputed at World construction.
+//
+//hobbit:hotpath
 func (w *World) rttProfile(p *pop) rttmodel.Profile {
-	base := time.Duration(20+rng.Float64(w.seed, hashString(p.as.region.name))*180) * time.Millisecond
+	return p.rtt
+}
+
+// buildRTTProfile derives a pop's delay model from its region and kind;
+// called once per pop by precompute. The base draw is keyed by the
+// region-name hash exactly as the historical per-probe path was.
+func (w *World) buildRTTProfile(p *pop) rttmodel.Profile {
+	base := time.Duration(20+rng.Float64(w.seed, p.as.region.nameHash)*180) * time.Millisecond
 	switch p.kind {
 	case KindCellular:
 		return rttmodel.Cellular(base, 15*time.Millisecond, 900*time.Millisecond)
@@ -172,11 +213,31 @@ func (w *World) rttProfile(p *pop) rttmodel.Profile {
 	}
 }
 
+// precompute derives every build-time constant the probe hot path reads:
+// region-name hashes, per-pop RTT profiles, and per-(block, /26) activity
+// rates. Called once at the end of New, after populations exist.
+func (w *World) precompute() {
+	for _, r := range w.regions {
+		r.nameHash = hashString(r.name)
+	}
+	for _, p := range w.pops {
+		p.rtt = w.buildRTTProfile(p)
+	}
+	for _, b := range w.blockList {
+		rec := w.blocks[b]
+		for q := 0; q < 4; q++ {
+			rec.rate26[q] = w.buildRate26(b, rec, q)
+		}
+	}
+}
+
 // --- Probe primitives ---
 
 // Ping sends an ICMP echo request to dst. seq distinguishes probes in a
 // train (the first probe to a cellular host pays the radio-promotion
 // delay). ok is false when the destination does not answer.
+//
+//hobbit:hotpath
 func (w *World) Ping(dst iputil.Addr, seq int) (ProbeReply, bool) {
 	p, routed := w.popOf(dst)
 	if !routed || !w.RespondsNow(dst) {
@@ -214,14 +275,15 @@ func (w *World) PingRTT(dst iputil.Addr, seq int) (time.Duration, bool) {
 // load-balanced path (the header fields Paris traceroute controls); salt
 // distinguishes retransmissions so that rate-limiting drops are not
 // deterministic across retries.
+//
+//hobbit:hotpath
 func (w *World) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) ProbeReply {
 	if ttl < 1 {
 		return ProbeReply{}
 	}
-	var hops [maxHops]routerID
-	n, routed := w.route(0, dst, flowID, &hops)
+	n, routed, hop := w.probeHop(0, dst, flowID, ttl)
 	if ttl <= n {
-		r := w.routers[hops[ttl-1]]
+		r := w.routers[hop]
 		if !r.responsive {
 			return ProbeReply{}
 		}

@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"sync/atomic"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// Route caching: MDA walks one destination TTL by TTL and then revisits
+// flows while assembling per-flow paths, so the same (vantage, dst, flowID)
+// route is recomputed dozens of times per destination. The route is a pure
+// function of that triple for a fixed epoch (per-flow and per-destination
+// load balancers hash header fields; activeEntries only changes when the
+// epoch advances past a block's split), so the world memoizes materialized
+// hop arrays in a direct-mapped table sharded across independent atomic
+// slots: a hit is one atomic pointer load plus a key compare, with no lock
+// and no allocation. A colliding insert simply overwrites the slot — both
+// values are pure functions of their keys, so eviction can change only
+// timing, never replies. The table is replaced wholesale on SetEpoch,
+// which also covers outage state: outages are drawn per (pop, epoch) and
+// never alter routes, only RespondsNow, which stays uncached. Replies are
+// therefore bit-identical with the cache on or off —
+// TestProbeCacheIdentical holds the two worlds side by side.
+
+// routeTabBits sizes the direct-mapped table; 2^17 slots bound the cache
+// at one pointer per slot plus one entry per occupied slot.
+const routeTabBits = 17
+
+// routeKey identifies one materialized route.
+type routeKey struct {
+	dst  iputil.Addr
+	flow uint16
+	v    uint16
+}
+
+// routeEnt is one materialized route: the hop array route() would have
+// written plus its length and routed verdict. Entries are immutable once
+// published in a table slot.
+type routeEnt struct {
+	key  routeKey
+	hops [maxHops]routerID
+	n    int8
+	ok   bool
+}
+
+// routeCache is the per-epoch memo. Misses are observable through
+// RouteCacheStats for tests and tuning; a repeated probe must not add any.
+type routeCache struct {
+	tab    []atomic.Pointer[routeEnt]
+	misses atomic.Int64
+}
+
+func newRouteCache() *routeCache {
+	return &routeCache{tab: make([]atomic.Pointer[routeEnt], 1<<routeTabBits)}
+}
+
+// slotOf spreads keys over the table with a multiply-shift hash; the low
+// destination bits alone would put a whole /24 in one slot neighborhood.
+func slotOf(k routeKey) int {
+	h := (uint64(k.dst)<<32 | uint64(k.flow)<<16 | uint64(k.v)) * 0x9e3779b97f4a7c15
+	return int(h >> (64 - routeTabBits))
+}
+
+// cachedRoute returns the memoized route for (v, dst, flowID), computing
+// and publishing it on first use. It returns nil when caching is disabled,
+// in which case the caller walks route() directly. The hit path performs
+// no allocation and takes no lock.
+func (w *World) cachedRoute(v int, dst iputil.Addr, flowID uint16) *routeEnt {
+	rc := w.routes
+	if rc == nil {
+		return nil
+	}
+	k := routeKey{dst: dst, flow: flowID, v: uint16(v)}
+	slot := &rc.tab[slotOf(k)]
+	if e := slot.Load(); e != nil && e.key == k {
+		return e
+	}
+	rc.misses.Add(1)
+	e := &routeEnt{key: k}
+	n, ok := w.route(v, dst, flowID, &e.hops)
+	e.n, e.ok = int8(n), ok
+	slot.Store(e)
+	return e
+}
+
+// probeHop is the cache-aware route query the probe primitives need: the
+// routed-path length toward dst for the flow, and the router interface a
+// probe with the given ttl expires at (meaningful only when ttl <= n).
+// With caching disabled it walks route() on a stack array, so neither
+// path allocates.
+//
+//hobbit:hotpath
+func (w *World) probeHop(v int, dst iputil.Addr, flowID uint16, ttl int) (n int, routed bool, hop routerID) {
+	if e := w.cachedRoute(v, dst, flowID); e != nil {
+		n, routed = int(e.n), e.ok
+		if ttl >= 1 && ttl <= n {
+			hop = e.hops[ttl-1]
+		}
+		return n, routed, hop
+	}
+	var hops [maxHops]routerID
+	n, routed = w.route(v, dst, flowID, &hops)
+	if ttl >= 1 && ttl <= n {
+		hop = hops[ttl-1]
+	}
+	return n, routed, hop
+}
+
+// RouteCacheStats returns the number of route computations the cache has
+// absorbed since the epoch began (misses — each one a route() walk that
+// was then published) and the table capacity in slots. Zeros when caching
+// is disabled. A workload that revisits routes shows misses well below
+// its probe count; tests assert misses stay flat across repeats.
+func (w *World) RouteCacheStats() (misses int64, capacity int) {
+	rc := w.routes
+	if rc == nil {
+		return 0, 0
+	}
+	return rc.misses.Load(), len(rc.tab)
+}
+
+// invalidateRoutes drops every memoized route; called when the epoch
+// changes (split blocks re-enter with different entries).
+func (w *World) invalidateRoutes() {
+	if w.routes != nil {
+		w.routes = newRouteCache()
+	}
+}

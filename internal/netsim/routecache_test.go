@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"context"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/parallel"
+)
+
+// TestProbeCacheIdentical holds a cached and a cache-disabled world side by
+// side and demands bit-identical replies — across epochs (which change
+// routes for split blocks and draw outages), flow identifiers, TTLs,
+// retransmission salts, vantages, and pings. This is the cache's whole
+// contract: memoization may change timing, never bytes.
+func TestProbeCacheIdentical(t *testing.T) {
+	cfg := testConfig(160)
+	cached := MustNew(cfg)
+	cfg.DisableRouteCache = true
+	plain := MustNew(cfg)
+	if cached.routes == nil || plain.routes != nil {
+		t.Fatal("cache flag did not take effect")
+	}
+
+	for epoch := 0; epoch <= 2; epoch++ {
+		cached.SetEpoch(epoch)
+		plain.SetEpoch(epoch)
+		for _, b := range cached.Blocks() {
+			for _, i := range []int{0, 1, 97, 255} {
+				dst := b.Addr(i)
+				for _, flow := range []uint16{0, 1, 5} {
+					for ttl := 1; ttl <= 10; ttl++ {
+						for _, salt := range []uint32{1, 2} {
+							got := cached.Probe(dst, ttl, flow, salt)
+							want := plain.Probe(dst, ttl, flow, salt)
+							if got != want {
+								t.Fatalf("epoch %d Probe(%v, ttl=%d, flow=%d, salt=%d): cached %+v != plain %+v",
+									epoch, dst, ttl, flow, salt, got, want)
+							}
+						}
+					}
+				}
+				for seq := 0; seq < 2; seq++ {
+					gr, gok := cached.Ping(dst, seq)
+					wr, wok := plain.Ping(dst, seq)
+					if gr != wr || gok != wok {
+						t.Fatalf("epoch %d Ping(%v, %d): cached (%+v, %v) != plain (%+v, %v)",
+							epoch, dst, seq, gr, gok, wr, wok)
+					}
+				}
+			}
+		}
+		for v := 0; v < cached.NumVantages(); v++ {
+			cv, pv := cached.Vantage(v), plain.Vantage(v)
+			for _, b := range cached.Blocks()[:40] {
+				dst := b.Addr(9)
+				for ttl := 1; ttl <= 9; ttl++ {
+					got := cv.Probe(dst, ttl, 3, 1)
+					want := pv.Probe(dst, ttl, 3, 1)
+					if got != want {
+						t.Fatalf("epoch %d vantage %d Probe(%v, ttl=%d): cached %+v != plain %+v",
+							epoch, v, dst, ttl, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouteCacheReuse pins the memoization itself: once a (dst, flow)
+// route is materialized, repeating the probe must not add misses, and
+// SetEpoch must drop every entry.
+func TestRouteCacheReuse(t *testing.T) {
+	w := testWorld(t, 40)
+	dst := w.Blocks()[0].Addr(7)
+	for ttl := 1; ttl <= 8; ttl++ {
+		w.Probe(dst, ttl, 2, 1)
+	}
+	misses, capacity := w.RouteCacheStats()
+	if capacity == 0 {
+		t.Fatal("route cache disabled in default config")
+	}
+	if misses == 0 {
+		t.Fatal("no route was materialized")
+	}
+	for ttl := 1; ttl <= 8; ttl++ {
+		w.Probe(dst, ttl, 2, 99)
+	}
+	if again, _ := w.RouteCacheStats(); again != misses {
+		t.Fatalf("repeat probes added misses: %d -> %d", misses, again)
+	}
+	w.SetEpoch(1)
+	if after, _ := w.RouteCacheStats(); after != 0 {
+		t.Fatalf("SetEpoch kept %d misses of state", after)
+	}
+}
+
+// TestRouteCacheConcurrent hammers one world from the sanctioned worker
+// pool under -race: concurrent hits, misses, and slot overwrites must stay
+// race-free and agree with a serial replay.
+func TestRouteCacheConcurrent(t *testing.T) {
+	w := testWorld(t, 60)
+	blocks := w.Blocks()
+	replies := make([]ProbeReply, len(blocks)*8)
+	pool := parallel.Pool{Workers: 8}
+	if err := pool.ForEach(context.Background(), len(blocks), func(i int) {
+		dst := blocks[i%len(blocks)].Addr(i % 256)
+		for ttl := 1; ttl <= 8; ttl++ {
+			replies[i*8+ttl-1] = w.Probe(dst, ttl, uint16(i%4), 1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range blocks {
+		dst := b.Addr(i % 256)
+		for ttl := 1; ttl <= 8; ttl++ {
+			if want := w.Probe(dst, ttl, uint16(i%4), 1); replies[i*8+ttl-1] != want {
+				t.Fatalf("concurrent Probe(%v, ttl=%d) = %+v, serial replay %+v",
+					dst, ttl, replies[i*8+ttl-1], want)
+			}
+		}
+	}
+}

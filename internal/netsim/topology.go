@@ -226,6 +226,12 @@ func (w *World) route(v int, dst iputil.Addr, flowID uint16, hops *[maxHops]rout
 // forwardDist returns the forward hop distance from a vantage point to
 // dst (the TTL needed for a probe to reach the destination itself).
 func (w *World) forwardDist(v int, dst iputil.Addr) (int, bool) {
+	if rv := w.cachedRoute(v, dst, 0); rv != nil {
+		if !rv.ok {
+			return 0, false
+		}
+		return int(rv.n) + 1, true
+	}
 	var hops [maxHops]routerID
 	n, ok := w.route(v, dst, 0, &hops)
 	if !ok {

@@ -62,10 +62,9 @@ func (vt *Vantage) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) P
 	if ttl < 1 {
 		return ProbeReply{}
 	}
-	var hops [maxHops]routerID
-	n, routed := w.route(vt.v, dst, flowID, &hops)
+	n, routed, hop := w.probeHop(vt.v, dst, flowID, ttl)
 	if ttl <= n {
-		r := w.routers[hops[ttl-1]]
+		r := w.routers[hop]
 		if !r.responsive {
 			return ProbeReply{}
 		}

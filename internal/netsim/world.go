@@ -8,6 +8,7 @@ import (
 
 	"github.com/hobbitscan/hobbit/internal/iputil"
 	"github.com/hobbitscan/hobbit/internal/metadata"
+	"github.com/hobbitscan/hobbit/internal/rttmodel"
 )
 
 // World is a generated synthetic Internet. It is immutable after Build and
@@ -39,6 +40,10 @@ type World struct {
 	epoch          int
 	epochMu        sync.Mutex
 	popActiveCache map[popEpochKey][]iputil.Addr
+
+	// routes memoizes materialized hop arrays for the current epoch (see
+	// routecache.go); nil when Config.DisableRouteCache is set.
+	routes *routeCache
 }
 
 type routerID int32
@@ -54,6 +59,9 @@ type region struct {
 	coreIn  routerID
 	coreMid []routerID
 	coreOut routerID
+	// nameHash is hashString(name), precomputed so the probe path never
+	// hashes strings (see precompute in reply.go).
+	nameHash uint64
 }
 
 type asRec struct {
@@ -85,6 +93,9 @@ type pop struct {
 	rdnsVar   int
 	size      int // /24 count (0 for hetero sub-pops)
 	heteroSub bool
+	// rtt is the pop's delay model, precomputed at build time so probes
+	// never re-derive it (see precompute in reply.go).
+	rtt rttmodel.Profile
 }
 
 // entry maps a sub-prefix of a /24 to its pop: one entry for homogeneous
@@ -105,6 +116,9 @@ type blockRec struct {
 	// that epoch on, futureEntries (sub-allocations) replace entries.
 	splitEpoch    int
 	futureEntries []entry
+	// rate26 holds the per-/26 activity rates, precomputed at build time
+	// (see buildRate26 in reply.go).
+	rate26 [4]float64
 }
 
 // New builds a world from the configuration. Building is deterministic in
@@ -127,6 +141,10 @@ func New(cfg Config) (*World, error) {
 	}
 	w.populateMetadata()
 	sort.Slice(w.blockList, func(i, j int) bool { return w.blockList[i] < w.blockList[j] })
+	w.precompute()
+	if !cfg.DisableRouteCache {
+		w.routes = newRouteCache()
+	}
 	return w, nil
 }
 

@@ -93,13 +93,18 @@ func MDA(net Network, dst iputil.Addr, opts MDAOptions) MDAResult {
 		}
 	}
 
+	// seen collects the distinct interfaces observed at the current TTL;
+	// a reused slice with a linear scan beats a per-TTL map at the small
+	// fan-outs real load balancers have, and keeps the driver off the
+	// allocator.
+	var seenBuf [16]iputil.Addr
 	maxFlowsUsed := 0
 	for ttl := opts.FirstTTL; ttl <= opts.MaxTTL; ttl++ {
 		row := make([]trace.Hop, 0, 8)
-		distinct := make(map[iputil.Addr]struct{})
+		seen := seenBuf[:0]
 		echo := false
 		for probed := 0; ; probed++ {
-			need := StoppingPoint(len(distinct), opts.Confidence)
+			need := StoppingPoint(len(seen), opts.Confidence)
 			if probed >= need || probed >= opts.MaxFlows {
 				break
 			}
@@ -109,7 +114,9 @@ func MDA(net Network, dst iputil.Addr, opts MDAOptions) MDAResult {
 				echo = true
 			case TTLExceeded:
 				row = append(row, trace.R(r.From))
-				distinct[r.From] = struct{}{}
+				if !containsAddr(seen, r.From) {
+					seen = append(seen, r.From)
+				}
 			default:
 				row = append(row, trace.Star)
 			}
@@ -136,22 +143,35 @@ func MDA(net Network, dst iputil.Addr, opts MDAOptions) MDAResult {
 	if len(hopRows) == 0 {
 		return res
 	}
+	// One scratch path is refilled per flow; PathSet.Add clones only the
+	// paths it actually keeps, so duplicate flows cost no allocation.
+	scratch := make(trace.Path, len(hopRows))
 	for f := 0; f < maxFlowsUsed; f++ {
-		p := make(trace.Path, len(hopRows))
 		for i, row := range hopRows {
 			if f < len(row) {
-				p[i] = row[f]
+				scratch[i] = row[f]
 				continue
 			}
 			r := probeOnce(opts.FirstTTL+i, uint16(f))
 			switch r.Kind {
 			case TTLExceeded:
-				p[i] = trace.R(r.From)
+				scratch[i] = trace.R(r.From)
 			default:
-				p[i] = trace.Star
+				scratch[i] = trace.Star
 			}
 		}
-		res.Paths.Add(p)
+		res.Paths.Add(scratch)
 	}
 	return res
+}
+
+// containsAddr reports whether a holds x; the MDA hot loop uses it instead
+// of a map because per-hop interface counts are small.
+func containsAddr(a []iputil.Addr, x iputil.Addr) bool {
+	for _, v := range a {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }

@@ -89,21 +89,26 @@ func (p Path) LastHop() (iputil.Addr, bool) {
 }
 
 // Key returns a canonical string encoding usable as a map key. Wildcards
-// are encoded distinctly from any address.
+// are encoded distinctly from any address. The encoding is appended to a
+// stack buffer so building a key costs one string allocation, not one per
+// hop.
 func (p Path) Key() string {
-	var b strings.Builder
-	b.Grow(len(p) * 9)
+	var stack [128]byte
+	buf := stack[:0]
+	if n := len(p) * 9; n > len(stack) {
+		buf = make([]byte, 0, n)
+	}
 	for i, h := range p {
 		if i > 0 {
-			b.WriteByte(',')
+			buf = append(buf, ',')
 		}
 		if !h.Responsive {
-			b.WriteByte('*')
+			buf = append(buf, '*')
 		} else {
-			b.WriteString(strconv.FormatUint(uint64(h.Addr), 16))
+			buf = strconv.AppendUint(buf, uint64(h.Addr), 16)
 		}
 	}
-	return b.String()
+	return string(buf)
 }
 
 // String renders the path like a one-line traceroute.

@@ -5,15 +5,18 @@
 package zmap
 
 import (
+	"context"
 	"math/bits"
 
 	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/parallel"
 	"github.com/hobbitscan/hobbit/internal/telemetry"
 )
 
 // Scanner answers a census-time echo request. netsim.World satisfies this
 // with its scan-epoch behaviour; a live deployment would wrap a raw-socket
-// pinger.
+// pinger. Implementations must be safe for concurrent ScanPing calls:
+// ScanWith fans the sweep out over a worker pool.
 type Scanner interface {
 	ScanPing(a iputil.Addr) bool
 }
@@ -39,24 +42,49 @@ func Scan(s Scanner, blocks []iputil.Block24) *Dataset {
 // requests sent, the responders found, and the blocks with any activity
 // under "census.…" counters in reg (nil reg keeps the plain behaviour).
 func ScanObserved(s Scanner, blocks []iputil.Block24, reg *telemetry.Registry) *Dataset {
+	return ScanWith(s, blocks, ScanOptions{Workers: 1, Telemetry: reg})
+}
+
+// ScanOptions configures a census sweep.
+type ScanOptions struct {
+	// Workers bounds the sweep's concurrency (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// Telemetry receives the "census.…" counters; nil disables them.
+	Telemetry *telemetry.Registry
+}
+
+// ScanWith sweeps the blocks over a worker pool. Each worker fills the
+// bitmap of the blocks it claims into an index-addressed slot; the slots
+// are then merged — and the census counters applied — serially in block
+// order, so the dataset and every counter are byte-identical for any
+// worker count (TestScanWorkersIdentical pins this).
+func ScanWith(s Scanner, blocks []iputil.Block24, opts ScanOptions) *Dataset {
+	reg := opts.Telemetry
 	scanPings := reg.Counter("census.scan_pings")
 	responders := reg.Counter("census.responders")
 	activeBlocks := reg.Counter("census.active_blocks")
 	activePerBlock := reg.Histogram("census.active_per_block", []int64{4, 16, 64, 256})
 
-	d := NewDataset()
-	for _, b := range blocks {
-		var bm [4]uint64
-		active := 0
-		scanPings.Add(256)
-		for i := 0; i < 256; i++ {
-			if s.ScanPing(b.Addr(i)) {
-				bm[i>>6] |= 1 << uint(i&63)
-				active++
+	bms := make([][4]uint64, len(blocks))
+	pool := parallel.Pool{Workers: opts.Workers, Telemetry: reg, Stage: "census"}
+	// The background context is deliberate: a census is one bounded sweep
+	// with no caller-visible cancellation surface.
+	_ = pool.ForEach(context.Background(), len(blocks), func(i int) {
+		b := blocks[i]
+		for j := 0; j < 256; j++ {
+			if s.ScanPing(b.Addr(j)) {
+				bms[i][j>>6] |= 1 << uint(j&63)
 			}
 		}
+	})
+
+	d := NewDataset()
+	for i, b := range blocks {
+		scanPings.Add(256)
+		active := bits.OnesCount64(bms[i][0]) + bits.OnesCount64(bms[i][1]) +
+			bits.OnesCount64(bms[i][2]) + bits.OnesCount64(bms[i][3])
 		if active > 0 {
-			cp := bm
+			cp := bms[i]
 			d.active[b] = &cp
 			responders.Add(int64(active))
 			activeBlocks.Inc()
@@ -64,6 +92,20 @@ func ScanObserved(s Scanner, blocks []iputil.Block24, reg *telemetry.Registry) *
 		}
 	}
 	return d
+}
+
+// Equal reports whether two datasets record exactly the same responders.
+func (d *Dataset) Equal(o *Dataset) bool {
+	if len(d.active) != len(o.active) {
+		return false
+	}
+	for b, bm := range d.active {
+		obm, ok := o.active[b]
+		if !ok || *bm != *obm {
+			return false
+		}
+	}
+	return true
 }
 
 // Record marks a single address as active, for building datasets by hand.

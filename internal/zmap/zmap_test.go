@@ -5,6 +5,7 @@ import (
 
 	"github.com/hobbitscan/hobbit/internal/iputil"
 	"github.com/hobbitscan/hobbit/internal/netsim"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
 )
 
 // bitmapScanner is a hand-built scanner for unit tests.
@@ -122,5 +123,57 @@ func TestScanWorld(t *testing.T) {
 				t.Fatalf("dataset active %v not scan-active in world", a)
 			}
 		}
+	}
+}
+
+// TestScanWorkersIdentical pins the parallel census determinism contract:
+// the dataset and every census counter must be byte-identical for any
+// worker count.
+func TestScanWorkersIdentical(t *testing.T) {
+	cfg := netsim.DefaultConfig(300)
+	cfg.BigBlockScale = 0.02
+	w, err := netsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg1 := telemetry.NewRegistry()
+	reg8 := telemetry.NewRegistry()
+	d1 := ScanWith(w, w.Blocks(), ScanOptions{Workers: 1, Telemetry: reg1})
+	d8 := ScanWith(w, w.Blocks(), ScanOptions{Workers: 8, Telemetry: reg8})
+	if !d1.Equal(d8) {
+		t.Fatal("Workers=1 and Workers=8 datasets differ")
+	}
+	if !d8.Equal(d1) {
+		t.Fatal("Equal is not symmetric")
+	}
+	s1, s8 := reg1.Snapshot(), reg8.Snapshot()
+	for _, name := range []string{"census.scan_pings", "census.responders", "census.active_blocks"} {
+		if s1.Counters[name] != s8.Counters[name] {
+			t.Errorf("%s: Workers=1 %d != Workers=8 %d", name, s1.Counters[name], s8.Counters[name])
+		}
+	}
+	// And the pool default (GOMAXPROCS) agrees too.
+	if !d1.Equal(ScanWith(w, w.Blocks(), ScanOptions{})) {
+		t.Error("Workers=0 dataset differs")
+	}
+}
+
+func TestDatasetEqual(t *testing.T) {
+	a, b := NewDataset(), NewDataset()
+	if !a.Equal(b) {
+		t.Error("empty datasets must be equal")
+	}
+	a.Record(iputil.MustParseAddr("1.2.3.4"))
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("datasets with different blocks must differ")
+	}
+	b.Record(iputil.MustParseAddr("1.2.3.5"))
+	if a.Equal(b) {
+		t.Error("datasets with different bitmaps must differ")
+	}
+	b2 := NewDataset()
+	b2.Record(iputil.MustParseAddr("1.2.3.4"))
+	if !a.Equal(b2) {
+		t.Error("identical recordings must be equal")
 	}
 }
