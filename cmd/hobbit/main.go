@@ -8,7 +8,7 @@
 //
 //	hobbit [-blocks N] [-scale F] [-seed S] [-workers W]
 //	       [-census-workers W] [-cluster-workers W] [-skip-clustering]
-//	       [-dump FILE] [-top N] [-json] [-progress]
+//	       [-fault-plan NAME] [-dump FILE] [-top N] [-json] [-progress]
 //	       [-metrics-addr HOST:PORT]
 //
 // Every run is instrumented: -json emits a machine-readable summary with
@@ -28,9 +28,12 @@ import (
 	"os"
 	"time"
 
+	"strings"
+
 	"github.com/hobbitscan/hobbit/internal/aggregate"
 	"github.com/hobbitscan/hobbit/internal/blockmap"
 	"github.com/hobbitscan/hobbit/internal/core"
+	"github.com/hobbitscan/hobbit/internal/faultplan"
 	"github.com/hobbitscan/hobbit/internal/hobbit"
 	"github.com/hobbitscan/hobbit/internal/netsim"
 	"github.com/hobbitscan/hobbit/internal/probe"
@@ -46,6 +49,7 @@ func main() {
 		clWorker = flag.Int("cluster-workers", 0, "post-campaign stage workers: similarity graph, MCL, validation (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		cnWorker = flag.Int("census-workers", 0, "census sweep workers (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		skipCl   = flag.Bool("skip-clustering", false, "stop after identical-set aggregation")
+		plan     = flag.String("fault-plan", "", "inject a built-in fault plan into the synthetic world and enable adaptive probing (one of: "+strings.Join(faultplan.BuiltinNames(), ", ")+")")
 		dump     = flag.String("dump", "", "write the final homogeneous block map to this file")
 		top      = flag.Int("top", 15, "number of largest blocks to characterize")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable run summary instead of tables")
@@ -57,7 +61,8 @@ func main() {
 	if err := run(context.Background(), runConfig{
 		blocks: *blocks, scale: *scale, seed: *seed, workers: *workers,
 		clusterWorkers: *clWorker, censusWorkers: *cnWorker,
-		skipClustering: *skipCl, dump: *dump, top: *top, json: *jsonOut,
+		skipClustering: *skipCl, faultPlan: *plan,
+		dump: *dump, top: *top, json: *jsonOut,
 		progress: *progress, metricsAddr: *metrics,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "hobbit:", err)
@@ -73,6 +78,7 @@ type runConfig struct {
 	clusterWorkers int
 	censusWorkers  int
 	skipClustering bool
+	faultPlan      string
 	dump           string
 	top            int
 	json           bool
@@ -87,6 +93,22 @@ func run(ctx context.Context, rc runConfig) error {
 	stdout := rc.stdout
 	if stdout == nil {
 		stdout = os.Stdout
+	}
+	// Negative worker counts used to flow straight into the worker pools,
+	// where they silently behaved like the auto value instead of the
+	// serial run the user probably wanted; reject them up front. Zero
+	// stays the documented "use GOMAXPROCS" value.
+	for _, f := range []struct {
+		name  string
+		value int
+	}{
+		{"-workers", rc.workers},
+		{"-census-workers", rc.censusWorkers},
+		{"-cluster-workers", rc.clusterWorkers},
+	} {
+		if f.value < 0 {
+			return fmt.Errorf("%s must be >= 0 (0 = GOMAXPROCS), got %d", f.name, f.value)
+		}
 	}
 	cfg := netsim.DefaultConfig(rc.blocks)
 	cfg.BigBlockScale = rc.scale
@@ -114,6 +136,20 @@ func run(ctx context.Context, rc runConfig) error {
 		}()
 	}
 
+	var mdaOpts probe.MDAOptions
+	if rc.faultPlan != "" {
+		sched, err := faultplan.CompileBuiltin(rc.faultPlan, world)
+		if err != nil {
+			return err
+		}
+		world.SetFaults(sched)
+		mdaOpts.Adaptive = true
+		if !rc.json {
+			fmt.Fprintf(stdout, "fault plan: %s (%d events); adaptive probing enabled\n",
+				sched.Name(), len(sched.Events()))
+		}
+	}
+
 	net := probe.Instrument(probe.NewSimNetwork(world), reg, core.StageMeasure)
 	p := &core.Pipeline{
 		Net:            net,
@@ -123,6 +159,7 @@ func run(ctx context.Context, rc runConfig) error {
 		Workers:        rc.workers,
 		ClusterWorkers: rc.clusterWorkers,
 		CensusWorkers:  rc.censusWorkers,
+		MDAOpts:        mdaOpts,
 		SkipClustering: rc.skipClustering,
 		ValidatePairs:  20000,
 		Telemetry:      reg,
@@ -136,7 +173,7 @@ func run(ctx context.Context, rc runConfig) error {
 		return err
 	}
 	if rc.json {
-		return writeJSON(stdout, world, out, net, reg)
+		return writeJSON(stdout, rc, world, out, net, reg)
 	}
 	fmt.Fprintf(stdout, "pipeline: %d eligible /24s measured in %v (%d pings, %d probes, %d retries)\n\n",
 		len(out.Eligible), time.Since(start).Round(time.Millisecond), net.Pings(), net.Probes(),
@@ -159,6 +196,9 @@ func run(ctx context.Context, rc runConfig) error {
 
 	fmt.Fprintf(stdout, "identical-set aggregation: %d homogeneous /24s -> %d blocks\n",
 		sum.Homogeneous(), len(out.Aggregates))
+	if rc.faultPlan != "" {
+		fmt.Fprintf(stdout, "low-confidence /24s excluded from aggregation: %d\n", len(out.LowConfidence))
+	}
 	if out.Clustering != nil {
 		validated := 0
 		for _, c := range out.Clustering.Clusters {
@@ -209,10 +249,12 @@ type runSummary struct {
 	Clusters    int                `json:"mcl_clusters"`
 	Validated   int                `json:"validated_clusters"`
 	Final       int                `json:"final_blocks"`
+	FaultPlan   string             `json:"fault_plan,omitempty"`
+	LowConf     int                `json:"low_confidence_blocks"`
 	Telemetry   telemetry.Snapshot `json:"telemetry"`
 }
 
-func writeJSON(w io.Writer, world *netsim.World, out *core.Output, net *probe.Instrumented, reg *telemetry.Registry) error {
+func writeJSON(w io.Writer, rc runConfig, world *netsim.World, out *core.Output, net *probe.Instrumented, reg *telemetry.Registry) error {
 	sum := out.Campaign.Summary()
 	s := runSummary{
 		Universe:    len(world.Blocks()),
@@ -225,6 +267,8 @@ func writeJSON(w io.Writer, world *netsim.World, out *core.Output, net *probe.In
 		Measurable:  sum.Measurable(),
 		Aggregates:  len(out.Aggregates),
 		Final:       len(out.Final),
+		FaultPlan:   rc.faultPlan,
+		LowConf:     len(out.LowConfidence),
 		Telemetry:   reg.Snapshot(),
 	}
 	for cls, n := range sum.Counts {

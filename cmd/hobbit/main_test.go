@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/hobbitscan/hobbit/internal/blockmap"
@@ -158,5 +160,75 @@ func TestRunJSONDeterministic(t *testing.T) {
 	s3, _ := runJSON(t, 8)
 	if reflect.DeepEqual(s1.Telemetry.Counters, s3.Telemetry.Counters) {
 		t.Error("different seeds produced identical counter snapshots")
+	}
+}
+
+// TestRunRejectsNegativeWorkers pins the flag-validation bugfix: a
+// negative worker count used to fall through to the pools and silently
+// behave like the auto value; now each flag fails fast with its name in
+// the error, before the world is even built.
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	cases := []struct {
+		flag string
+		rc   runConfig
+	}{
+		{"-workers", runConfig{blocks: 10, workers: -1}},
+		{"-census-workers", runConfig{blocks: 10, censusWorkers: -2}},
+		{"-cluster-workers", runConfig{blocks: 10, clusterWorkers: -8}},
+	}
+	for _, tc := range cases {
+		err := run(context.Background(), tc.rc)
+		if err == nil {
+			t.Errorf("%s: negative value accepted", tc.flag)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.flag) || !strings.Contains(err.Error(), "GOMAXPROCS") {
+			t.Errorf("%s: unhelpful error %q", tc.flag, err)
+		}
+	}
+	// Zero remains the documented auto value, not an error.
+	if err := run(context.Background(), runConfig{blocks: 60, scale: 0.02, seed: 7, top: 1,
+		skipClustering: true, stdout: io.Discard}); err != nil {
+		t.Errorf("zero worker counts rejected: %v", err)
+	}
+}
+
+// TestRunUnknownFaultPlan pins the -fault-plan error path.
+func TestRunUnknownFaultPlan(t *testing.T) {
+	err := run(context.Background(), runConfig{blocks: 60, scale: 0.02, seed: 7,
+		faultPlan: "meteor-strike", stdout: io.Discard})
+	if err == nil || !strings.Contains(err.Error(), "meteor-strike") {
+		t.Fatalf("unknown plan error = %v", err)
+	}
+}
+
+// TestRunFaultPlanJSON smoke-runs a faulted campaign end to end through
+// the CLI and checks the summary surfaces the plan and its fallout.
+func TestRunFaultPlanJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline smoke test is slow")
+	}
+	var buf bytes.Buffer
+	err := run(context.Background(), runConfig{
+		blocks: 300, scale: 0.02, seed: 7, workers: 4, top: 3,
+		faultPlan: "rate-storm", json: true, stdout: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, buf.String())
+	}
+	if got := raw["fault_plan"]; got != "rate-storm" {
+		t.Errorf("fault_plan = %v, want rate-storm", got)
+	}
+	if _, ok := raw["low_confidence_blocks"]; !ok {
+		t.Error("low_confidence_blocks missing from summary")
+	}
+	tel := raw["telemetry"].(map[string]any)
+	counters := tel["counters"].(map[string]any)
+	if counters["campaign.degraded_blocks"] == nil || counters["campaign.degraded_blocks"].(float64) == 0 {
+		t.Errorf("rate-storm run recorded no degraded blocks: %v", counters["campaign.degraded_blocks"])
 	}
 }

@@ -288,7 +288,9 @@ func TestValidationPasses(t *testing.T) {
 		{name: "modal-at-both-floors", v: Validation{Reprobed: 4, ModalShare: 0.9}, want: true},
 		{name: "modal-above-floors", v: Validation{Reprobed: 10, ModalShare: 0.95}, want: true},
 		{name: "reprobed-below-floor", v: Validation{Reprobed: 3, ModalShare: 1.0}, want: false},
+		{name: "reprobed-just-below-both-floors", v: Validation{Reprobed: 3, ModalShare: 0.9}, want: false},
 		{name: "modal-share-below-floor", v: Validation{Reprobed: 10, ModalShare: 0.8999}, want: false},
+		{name: "modal-just-below-at-reprobed-floor", v: Validation{Reprobed: 4, ModalShare: 0.8999}, want: false},
 		{name: "zero-value", v: Validation{}, want: false},
 		{name: "pairs-differ-no-modal", v: Validation{PairsChecked: 5, IdenticalPairs: 4, Reprobed: 4, ModalShare: 0.75}, want: false},
 	}

@@ -90,6 +90,12 @@ type Output struct {
 	Campaign *hobbit.Result
 	// Aggregates are the Section 5 identical-set blocks.
 	Aggregates []*aggregate.Block
+	// LowConfidence lists homogeneous-looking blocks excluded from
+	// aggregation because their measurements exhausted the adaptive
+	// probing budget (hobbit.BlockResult.LowConfidence), in campaign
+	// order. Empty unless a fault plan (or real adversity) degraded the
+	// run.
+	LowConfidence []iputil.Block24
 	// Clustering and Validations are the Section 6 artifacts (nil when
 	// SkipClustering). Validated records which clusters were accepted
 	// for merging.
@@ -173,12 +179,28 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 
 	span = reg.StartSpan(StageAggregate)
 	homogeneous := out.Campaign.HomogeneousBlocks()
+	// Graceful degradation: verdicts that rest on budget-exhausted
+	// measurements stay in the campaign result for reporting but are
+	// kept out of aggregation, so one faulted window cannot poison a
+	// multi-/24 aggregate. The filter preserves campaign order, so the
+	// exclusion list — like every other artifact — is byte-identical
+	// across worker counts.
+	kept := homogeneous[:0:0]
+	for _, br := range homogeneous {
+		if br.LowConfidence() {
+			out.LowConfidence = append(out.LowConfidence, br.Block)
+			continue
+		}
+		kept = append(kept, br)
+	}
+	homogeneous = kept
 	// One interner backs both the aggregation and the post-validation
 	// merge, so every block that shares a last-hop set — before and after
 	// cluster merging — shares one canonical slice.
 	interner := aggregate.NewInterner()
 	out.Aggregates = aggregate.IdenticalInterned(homogeneous, interner)
 	reg.Counter("aggregate.homogeneous_in").Add(int64(len(homogeneous)))
+	reg.Counter("aggregate.low_confidence_excluded").Add(int64(len(out.LowConfidence)))
 	reg.Counter("aggregate.blocks_out").Add(int64(len(out.Aggregates)))
 	span.End()
 	if p.SkipClustering {

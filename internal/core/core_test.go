@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"testing"
 
+	"github.com/hobbitscan/hobbit/internal/aggregate"
+	"github.com/hobbitscan/hobbit/internal/iputil"
 	"github.com/hobbitscan/hobbit/internal/netsim"
 	"github.com/hobbitscan/hobbit/internal/probe"
 	"github.com/hobbitscan/hobbit/internal/telemetry"
@@ -278,5 +280,117 @@ func TestPipelineTelemetryCoverage(t *testing.T) {
 	if snap.Counters["campaign.blocks_measured"] != snap.Counters["census.eligible_blocks"] {
 		t.Errorf("measured %d blocks of %d eligible",
 			snap.Counters["campaign.blocks_measured"], snap.Counters["census.eligible_blocks"])
+	}
+}
+
+// lowConfNet scripts a two-/24 universe for the graceful-degradation
+// path: every address answers pings (reply TTL 56, so the inferred walk
+// starts at hop 7) and echoes at hop 12 behind a single per-block
+// last-hop router at hop 11, making both blocks measure homogeneous.
+// Addresses in the faulted block additionally lose every probing window
+// at hop 7 — exactly where the walk starts, so the per-flow windows
+// there all die in a row and each MDA run degrades; a small adaptive
+// budget then exhausts, while the default budget absorbs it. The type is
+// stateless, hence safe for any worker count, and doubles as the census
+// scanner (everything is active).
+type lowConfNet struct {
+	faulted iputil.Block24
+}
+
+func (n *lowConfNet) ScanPing(iputil.Addr) bool { return true }
+
+func (n *lowConfNet) Ping(iputil.Addr, int) (probe.PingResult, bool) {
+	return probe.PingResult{RespTTL: 56}, true
+}
+
+func (n *lowConfNet) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) probe.Result {
+	faulted := dst.Block24() == n.faulted
+	switch {
+	case faulted && ttl == 7:
+		return probe.Result{}
+	case ttl >= 12:
+		return probe.Result{Kind: probe.EchoReply}
+	case ttl == 11:
+		lh := iputil.Addr(0x0a000001)
+		if faulted {
+			lh = 0x0b000001
+		}
+		return probe.Result{Kind: probe.TTLExceeded, From: lh}
+	default:
+		return probe.Result{Kind: probe.TTLExceeded, From: 0x63000000 + iputil.Addr(ttl)}
+	}
+}
+
+// TestPipelineLowConfidenceExclusion pins the graceful-degradation
+// contract end to end: a block whose homogeneous verdict rests on
+// budget-exhausted measurements lands in Output.LowConfidence and stays
+// out of aggregation (and everything downstream), while the same block
+// measured with enough budget aggregates normally.
+func TestPipelineLowConfidenceExclusion(t *testing.T) {
+	clean := iputil.Addr(0x0a000100).Block24()
+	faulted := iputil.Addr(0x0a000200).Block24()
+	net := &lowConfNet{faulted: faulted}
+	run := func(budget int) (*Output, *telemetry.Registry) {
+		t.Helper()
+		reg := telemetry.NewRegistry()
+		p := &Pipeline{
+			Net:       net,
+			Scanner:   net,
+			Blocks:    []iputil.Block24{clean, faulted},
+			Seed:      7,
+			MDAOpts:   probe.MDAOptions{Adaptive: true, AdaptiveBudget: budget},
+			Telemetry: reg,
+		}
+		out, err := p.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, reg
+	}
+
+	// Tiny budget: the dead hop drains it on every probed address, so
+	// the verdict is homogeneous but low-confidence.
+	out, reg := run(4)
+	br := out.Campaign.Blocks[faulted]
+	if br == nil || !br.Class.Homogeneous() {
+		t.Fatalf("faulted block did not measure homogeneous: %+v", br)
+	}
+	if !br.LowConfidence() || br.BudgetExhausted == 0 {
+		t.Fatalf("faulted block not low-confidence: %+v", br)
+	}
+	if len(out.LowConfidence) != 1 || out.LowConfidence[0] != faulted {
+		t.Fatalf("Output.LowConfidence = %v, want [%v]", out.LowConfidence, faulted)
+	}
+	for _, lists := range [][]*aggregate.Block{out.Aggregates, out.Final} {
+		for _, b := range lists {
+			for _, m := range b.Blocks24 {
+				if m == faulted {
+					t.Fatal("low-confidence block leaked into aggregation")
+				}
+			}
+		}
+	}
+	if len(out.Aggregates) != 1 || out.Aggregates[0].Blocks24[0] != clean {
+		t.Fatalf("aggregates = %+v, want the clean block alone", out.Aggregates)
+	}
+	if got := reg.Counter("aggregate.low_confidence_excluded").Value(); got != 1 {
+		t.Errorf("aggregate.low_confidence_excluded = %d, want 1", got)
+	}
+
+	// Ample budget (the default 32): the same faults degrade the runs but
+	// never exhaust them, so the block aggregates like any other.
+	out, reg = run(0)
+	br = out.Campaign.Blocks[faulted]
+	if br.Degraded == 0 || br.BudgetExhausted != 0 || br.LowConfidence() {
+		t.Fatalf("default-budget run: %+v, want degraded but not exhausted", br)
+	}
+	if len(out.LowConfidence) != 0 {
+		t.Errorf("Output.LowConfidence = %v, want empty", out.LowConfidence)
+	}
+	if len(out.Aggregates) != 2 {
+		t.Errorf("aggregates = %d blocks, want both", len(out.Aggregates))
+	}
+	if got := reg.Counter("aggregate.low_confidence_excluded").Value(); got != 0 {
+		t.Errorf("aggregate.low_confidence_excluded = %d, want 0", got)
 	}
 }

@@ -1,0 +1,127 @@
+package faultplan
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/netsim"
+	"github.com/hobbitscan/hobbit/internal/rng"
+)
+
+// Built-in plans: one canonical scenario per event kind, plus a clean
+// baseline. Scopes are drawn deterministically from the world itself
+// (its block universe, pop map, and seed), so a given (world, name)
+// pair always yields the same plan — the accuracy harness and the
+// -fault-plan CLI flag both rely on that.
+
+// Builtin scope fractions and magnitudes. Moderate severities: the
+// point of the harness is that inference survives adversity, so the
+// scenarios must hurt without flattening the signal entirely.
+const (
+	builtinWindowFrom = 0 // active from the clean baseline epoch
+	builtinWindowTo   = 2 // recovered by SetEpoch(3)
+
+	blackholeFrac = 0.04 // fraction of /24s withdrawn
+	stormPopFrac  = 0.25 // fraction of pops under a rate storm
+	stormSeverity = 0.60 // additive TTL-exceeded drop probability
+	flapFrac      = 0.10 // fraction of /24s with flapping last hops
+	congSeverity  = 0.30 // additive loss for the affected vantage
+)
+
+// Salts for the deterministic scope draws.
+const (
+	saltPickBlackhole = 0xb1
+	saltPickStorm     = 0xb2
+	saltPickFlap      = 0xb3
+)
+
+// BuiltinNames lists the built-in plan names in canonical order.
+func BuiltinNames() []string {
+	return []string{"baseline", "blackhole", "rate-storm", "flap", "congestion"}
+}
+
+// Builtin derives the named built-in plan from the world. Unknown names
+// return an error listing the valid set.
+func Builtin(name string, w *netsim.World) (*Plan, error) {
+	seed := w.Config().Seed
+	p := &Plan{Name: name, Salt: rng.Mix(seed, 0xfa17)}
+	switch name {
+	case "baseline":
+		// No events: the control arm of every harness comparison.
+	case "blackhole":
+		for _, b := range w.Blocks() {
+			if rng.Bool(blackholeFrac, seed, uint64(b), saltPickBlackhole) {
+				p.Events = append(p.Events, Event{
+					Kind:   Blackhole,
+					From:   builtinWindowFrom,
+					To:     builtinWindowTo,
+					Prefix: iputil.PrefixOf(b.Addr(0), 24),
+				})
+			}
+		}
+	case "rate-storm":
+		for _, popID := range worldPops(w) {
+			if rng.Bool(stormPopFrac, seed, uint64(popID), saltPickStorm) {
+				p.Events = append(p.Events, Event{
+					Kind:     RateStorm,
+					From:     builtinWindowFrom,
+					To:       builtinWindowTo,
+					Pop:      popID,
+					Severity: stormSeverity,
+					Duty:     1,
+				})
+			}
+		}
+	case "flap":
+		for _, b := range w.Blocks() {
+			if rng.Bool(flapFrac, seed, uint64(b), saltPickFlap) {
+				p.Events = append(p.Events, Event{
+					Kind:  RouteFlap,
+					From:  builtinWindowFrom,
+					To:    builtinWindowTo,
+					Block: b,
+				})
+			}
+		}
+	case "congestion":
+		// Vantage 0 is the one the pipeline probes from.
+		p.Events = append(p.Events, Event{
+			Kind:     Congestion,
+			From:     builtinWindowFrom,
+			To:       builtinWindowTo,
+			Vantage:  0,
+			Severity: congSeverity,
+		})
+	default:
+		return nil, fmt.Errorf("faultplan: unknown built-in plan %q (have %v)", name, BuiltinNames())
+	}
+	return p, nil
+}
+
+// CompileBuiltin derives and compiles the named built-in plan.
+func CompileBuiltin(name string, w *netsim.World) (*Schedule, error) {
+	p, err := Builtin(name, w)
+	if err != nil {
+		return nil, err
+	}
+	return p.Compile()
+}
+
+// worldPops returns the sorted distinct pop ids serving the world's
+// blocks (sorted so event order — and thus plan equality — is stable).
+func worldPops(w *netsim.World) []int32 {
+	seen := make(map[int32]bool)
+	var pops []int32
+	for _, b := range w.Blocks() {
+		for i := 0; i < 256; i++ {
+			id, ok := w.PopOfAddr(b.Addr(i))
+			if ok && !seen[id] {
+				seen[id] = true
+				pops = append(pops, id)
+			}
+		}
+	}
+	sort.Slice(pops, func(i, j int) bool { return pops[i] < pops[j] })
+	return pops
+}

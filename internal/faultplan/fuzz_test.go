@@ -1,0 +1,153 @@
+package faultplan
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// decodeEvents deterministically turns fuzz bytes into an event list,
+// deliberately covering invalid shapes too (negative windows, overlong
+// prefixes, out-of-range severities) so Compile's rejection paths fuzz
+// alongside the accepted ones.
+func decodeEvents(data []byte) []Event {
+	const eventBytes = 16
+	n := len(data) / eventBytes
+	if n > 64 {
+		n = 64
+	}
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		c := data[i*eventBytes : (i+1)*eventBytes]
+		from := int(int8(c[1])) // negative froms exercise validation
+		e := Event{
+			Kind:     Kind(int(c[0]%6) - 1), // includes two invalid kinds
+			From:     from,
+			To:       from + int(int8(c[2])),
+			Pop:      int32(int8(c[3])),
+			Vantage:  int(int8(c[4])) % 4,
+			Severity: float64(c[5]) / 128, // up to 2.0 ⇒ some invalid
+			Duty:     float64(c[6]) / 200,
+			Prefix: iputil.Prefix{
+				Base: iputil.Addr(binary.LittleEndian.Uint32(c[7:11])),
+				Len:  int(c[11]%40) - 2, // includes invalid lengths
+			},
+			Block: iputil.Addr(binary.LittleEndian.Uint32(c[12:16])).Block24(),
+		}
+		// Prefix bases must be aligned for Contains to mean anything;
+		// leave some unaligned on purpose (Compile must still not panic).
+		if c[11]%2 == 0 && e.Prefix.Len >= 0 && e.Prefix.Len <= 32 {
+			e.Prefix.Base &= e.Prefix.Mask()
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// FuzzPlanSchedule checks the schedule's safety contract over arbitrary
+// event sequences: compiling never panics; compiled schedules never let
+// an event fire outside its epoch window; and every answer replays
+// identically for a fixed plan.
+func FuzzPlanSchedule(f *testing.F) {
+	f.Add([]byte{}, uint64(0))
+	f.Add(make([]byte, 16), uint64(1))
+	f.Add([]byte{
+		1, 0, 3, 5, 0, 60, 100, 0, 1, 2, 3, 24, 9, 8, 7, 6,
+		3, 2, 2, 1, 1, 30, 50, 4, 4, 4, 4, 26, 1, 2, 3, 4,
+	}, uint64(0x40bb17))
+	f.Fuzz(func(t *testing.T, data []byte, salt uint64) {
+		events := decodeEvents(data)
+		plan := &Plan{Name: "fuzz", Salt: salt, Events: events}
+		s, err := plan.Compile() // must not panic, ever
+		if err != nil {
+			return
+		}
+		twin := MustCompile(plan)
+
+		// Probe a grid of epochs and scopes around every event's window.
+		addrs := []iputil.Addr{0, 0x01020304, 0xfffffffe}
+		for _, e := range events {
+			addrs = append(addrs, e.Prefix.Base, e.Block.Addr(3))
+		}
+		for _, e := range events {
+			for _, epoch := range []int{e.From - 1, e.From, e.To, e.To + 1, 0, 1000000} {
+				if epoch < 0 {
+					continue
+				}
+				inWindow := epoch >= e.From && epoch <= e.To
+				for _, a := range addrs {
+					got := s.Blackholed(epoch, a)
+					if got != twin.Blackholed(epoch, a) {
+						t.Fatalf("Blackholed(%d, %v) does not replay", epoch, a)
+					}
+					if got && !s.anyActive(epoch, Blackhole) {
+						t.Fatalf("blackhole fired at epoch %d with no active event", epoch)
+					}
+					key, ok := s.FlapKey(epoch, a.Block24())
+					key2, ok2 := twin.FlapKey(epoch, a.Block24())
+					if ok != ok2 || key != key2 {
+						t.Fatalf("FlapKey(%d, %v) does not replay", epoch, a.Block24())
+					}
+					if ok && !s.anyActive(epoch, RouteFlap) {
+						t.Fatalf("flap fired at epoch %d with no active event", epoch)
+					}
+				}
+				for _, pop := range []int32{e.Pop, 0, 127} {
+					b := s.RateBoost(epoch, pop)
+					if b != twin.RateBoost(epoch, pop) {
+						t.Fatalf("RateBoost(%d, %d) does not replay", epoch, pop)
+					}
+					if b != 0 && !s.anyActive(epoch, RateStorm) {
+						t.Fatalf("storm boosted at epoch %d with no active event", epoch)
+					}
+					if b < 0 {
+						t.Fatalf("negative rate boost %v", b)
+					}
+				}
+				for _, v := range []int{e.Vantage, -1, 0, 3} {
+					b := s.LossBoost(epoch, v)
+					if b != twin.LossBoost(epoch, v) {
+						t.Fatalf("LossBoost(%d, %d) does not replay", epoch, v)
+					}
+					if b != 0 && !s.anyActive(epoch, Congestion) {
+						t.Fatalf("congestion boosted at epoch %d with no active event", epoch)
+					}
+					if b < 0 {
+						t.Fatalf("negative loss boost %v", b)
+					}
+				}
+				// An event entirely alone must be silent outside its
+				// own window — the sharpest form of the no-fire rule.
+				single := MustCompile(&Plan{Salt: salt, Events: []Event{e}})
+				if !inWindow {
+					for _, a := range addrs {
+						if single.Blackholed(epoch, a) {
+							t.Fatalf("lone blackhole fired outside [%d, %d] at %d", e.From, e.To, epoch)
+						}
+						if _, ok := single.FlapKey(epoch, a.Block24()); ok {
+							t.Fatalf("lone flap fired outside [%d, %d] at %d", e.From, e.To, epoch)
+						}
+					}
+					if single.RateBoost(epoch, e.Pop) != 0 {
+						t.Fatalf("lone storm fired outside [%d, %d] at %d", e.From, e.To, epoch)
+					}
+					if single.LossBoost(epoch, e.Vantage) != 0 {
+						t.Fatalf("lone congestion fired outside [%d, %d] at %d", e.From, e.To, epoch)
+					}
+				}
+			}
+		}
+	})
+}
+
+// anyActive reports whether any event of the kind covers the epoch;
+// test-only helper backing the fuzz no-fire property.
+func (s *Schedule) anyActive(epoch int, k Kind) bool {
+	for i := range s.events {
+		if s.events[i].Kind == k && s.events[i].active(epoch) {
+			return true
+		}
+	}
+	return false
+}

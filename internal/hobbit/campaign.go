@@ -100,6 +100,8 @@ type campaignMetrics struct {
 	classes   map[Class]*telemetry.Counter
 	probed    *telemetry.Histogram
 	responded *telemetry.Histogram
+	degraded  *telemetry.Counter
+	lowConf   *telemetry.Counter
 }
 
 func (c *Campaign) metrics() campaignMetrics {
@@ -109,6 +111,8 @@ func (c *Campaign) metrics() campaignMetrics {
 		classes:   make(map[Class]*telemetry.Counter),
 		probed:    reg.Histogram("campaign.probed_per_block", []int64{8, 16, 32, 64, 128, 256}),
 		responded: reg.Histogram("campaign.responded_per_block", []int64{4, 8, 16, 32, 64, 128, 256}),
+		degraded:  reg.Counter("campaign.degraded_blocks"),
+		lowConf:   reg.Counter("campaign.low_confidence_blocks"),
 	}
 	for _, cls := range []Class{
 		ClassTooFewActive, ClassUnresponsiveLastHop,
@@ -159,6 +163,12 @@ func (c *Campaign) Run(ctx context.Context, blocks []iputil.Block24) (*Result, e
 				met.classes[br.Class].Inc()
 				met.probed.Observe(int64(br.Probed))
 				met.responded.Observe(int64(br.Responded))
+				if br.Degraded > 0 {
+					met.degraded.Inc()
+				}
+				if br.LowConfidence() {
+					met.lowConf.Inc()
+				}
 				out <- item{b: b, br: &br}
 			}
 		}()

@@ -91,6 +91,20 @@ type BlockResult struct {
 	// Paths aggregates every path suffix observed toward the block
 	// (used by dataset-building experiments; nil unless KeepPaths).
 	Paths []*trace.PathSet
+	// Degraded counts probed destinations whose measurement crossed the
+	// adaptive prober's loss threshold; BudgetExhausted those whose
+	// escalation budget ran dry (see probe.MDAOptions.Adaptive).
+	Degraded        int
+	BudgetExhausted int
+}
+
+// LowConfidence reports whether the block's verdict rests on too many
+// budget-exhausted measurements to feed aggregation: at least one
+// exhausted destination, and exhausted destinations making up half or
+// more of everything probed. Such blocks keep their class for reporting
+// but are excluded from aggregation (see core.Pipeline).
+func (r *BlockResult) LowConfidence() bool {
+	return r.BudgetExhausted > 0 && 2*r.BudgetExhausted >= r.Probed
 }
 
 func (m *Measurer) term() Terminator {
@@ -175,6 +189,12 @@ func (m *Measurer) MeasureBlock(b iputil.Block24, by26 [4][]iputil.Addr) BlockRe
 	for _, dst := range order {
 		lr := probe.FindLastHops(m.Net, dst, m.Opts)
 		res.Probed++
+		if lr.Degraded {
+			res.Degraded++
+		}
+		if lr.BudgetExhausted {
+			res.BudgetExhausted++
+		}
 		if !lr.Responded {
 			continue
 		}

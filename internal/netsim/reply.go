@@ -243,7 +243,10 @@ func (w *World) Ping(dst iputil.Addr, seq int) (ProbeReply, bool) {
 	if !routed || !w.RespondsNow(dst) {
 		return ProbeReply{}, false
 	}
-	if rng.Bool(w.cfg.PPingLoss, w.seed, uint64(dst), uint64(seq), saltLoss) {
+	if w.faultBlackholed(dst) {
+		return ProbeReply{}, false
+	}
+	if rng.Bool(w.faultPingLoss(0), w.seed, uint64(dst), uint64(seq), saltLoss) {
 		return ProbeReply{}, false
 	}
 	dist, _ := w.forwardDist(0, dst)
@@ -283,11 +286,16 @@ func (w *World) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) Prob
 	}
 	n, routed, hop := w.probeHop(0, dst, flowID, ttl)
 	if ttl <= n {
+		if ttl > blackholeCoreHops && w.faultBlackholed(dst) {
+			// The withdrawn entry keeps traffic from reaching routers
+			// past the backbone core.
+			return ProbeReply{}
+		}
 		r := w.routers[hop]
 		if !r.responsive {
 			return ProbeReply{}
 		}
-		if rng.Bool(w.cfg.PRateLimit, w.seed, uint64(dst), uint64(ttl), uint64(flowID), uint64(salt), saltRate) {
+		if rng.Bool(w.faultRateLimit(0, dst), w.seed, uint64(dst), uint64(ttl), uint64(flowID), uint64(salt), saltRate) {
 			return ProbeReply{}
 		}
 		return ProbeReply{Kind: TTLExceeded, From: r.addr}
@@ -297,10 +305,10 @@ func (w *World) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) Prob
 		// toward an unallocated destination.
 		return ProbeReply{}
 	}
-	if !w.RespondsNow(dst) {
+	if !w.RespondsNow(dst) || w.faultBlackholed(dst) {
 		return ProbeReply{}
 	}
-	if rng.Bool(w.cfg.PPingLoss, w.seed, uint64(dst), uint64(ttl), uint64(salt), saltLoss) {
+	if rng.Bool(w.faultPingLoss(0), w.seed, uint64(dst), uint64(ttl), uint64(salt), saltLoss) {
 		return ProbeReply{}
 	}
 	dist := n + 1

@@ -210,12 +210,23 @@ func (w *World) route(v int, dst iputil.Addr, flowID uint16, hops *[maxHops]rout
 	n++
 	// Flow-divergent load balancers fold flow fields into the last-hop
 	// hash too, so paths toward one destination need not converge
-	// (Section 2.3).
+	// (Section 2.3). An active route flap folds an extra per-epoch key
+	// into the same hash, remapping the block's last-hop partition for
+	// as long as the flap lasts (the route cache is dropped on
+	// SetFaults/SetEpoch, so cached hops never outlive a flap window).
+	flapKey, flapping := w.faultFlap(dst.Block24())
 	var lh int
-	if p.flowDiv {
+	switch {
+	case p.flowDiv:
 		bucket := rng.Intn(2, w.seed, uint64(dst), uint64(flowID), saltFlow, 7)
-		lh = rng.Intn(len(p.lastHops), w.seed, uint64(dst), uint64(p.id), srcKey, saltLast, uint64(bucket))
-	} else {
+		if flapping {
+			lh = rng.Intn(len(p.lastHops), w.seed, uint64(dst), uint64(p.id), srcKey, saltLast, uint64(bucket), flapKey)
+		} else {
+			lh = rng.Intn(len(p.lastHops), w.seed, uint64(dst), uint64(p.id), srcKey, saltLast, uint64(bucket))
+		}
+	case flapping:
+		lh = rng.Intn(len(p.lastHops), w.seed, uint64(dst), uint64(p.id), srcKey, saltLast, flapKey)
+	default:
 		lh = rng.Intn(len(p.lastHops), w.seed, uint64(dst), uint64(p.id), srcKey, saltLast)
 	}
 	hops[n] = p.lastHops[lh]

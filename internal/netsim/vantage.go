@@ -37,7 +37,10 @@ func (vt *Vantage) Ping(dst iputil.Addr, seq int) (ProbeReply, bool) {
 	if !routed || !w.RespondsNow(dst) {
 		return ProbeReply{}, false
 	}
-	if rng.Bool(w.cfg.PPingLoss, w.seed, uint64(dst), uint64(seq), uint64(vt.v), saltLoss) {
+	if w.faultBlackholed(dst) {
+		return ProbeReply{}, false
+	}
+	if rng.Bool(w.faultPingLoss(vt.v), w.seed, uint64(dst), uint64(seq), uint64(vt.v), saltLoss) {
 		return ProbeReply{}, false
 	}
 	dist, _ := w.forwardDist(vt.v, dst)
@@ -64,19 +67,22 @@ func (vt *Vantage) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) P
 	}
 	n, routed, hop := w.probeHop(vt.v, dst, flowID, ttl)
 	if ttl <= n {
+		if ttl > blackholeCoreHops && w.faultBlackholed(dst) {
+			return ProbeReply{}
+		}
 		r := w.routers[hop]
 		if !r.responsive {
 			return ProbeReply{}
 		}
-		if rng.Bool(w.cfg.PRateLimit, w.seed, uint64(dst), uint64(ttl), uint64(flowID), uint64(salt), uint64(vt.v), saltRate) {
+		if rng.Bool(w.faultRateLimit(vt.v, dst), w.seed, uint64(dst), uint64(ttl), uint64(flowID), uint64(salt), uint64(vt.v), saltRate) {
 			return ProbeReply{}
 		}
 		return ProbeReply{Kind: TTLExceeded, From: r.addr}
 	}
-	if !routed || !w.RespondsNow(dst) {
+	if !routed || !w.RespondsNow(dst) || w.faultBlackholed(dst) {
 		return ProbeReply{}
 	}
-	if rng.Bool(w.cfg.PPingLoss, w.seed, uint64(dst), uint64(ttl), uint64(salt), uint64(vt.v), saltLoss) {
+	if rng.Bool(w.faultPingLoss(vt.v), w.seed, uint64(dst), uint64(ttl), uint64(salt), uint64(vt.v), saltLoss) {
 		return ProbeReply{}
 	}
 	dist := n + 1

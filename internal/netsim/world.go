@@ -44,6 +44,10 @@ type World struct {
 	// routes memoizes materialized hop arrays for the current epoch (see
 	// routecache.go); nil when Config.DisableRouteCache is set.
 	routes *routeCache
+
+	// faults is the active fault plan (see faults.go); nil for a clean
+	// world. Set via SetFaults, never concurrently with probing.
+	faults FaultView
 }
 
 type routerID int32

@@ -1,0 +1,184 @@
+package probe
+
+import (
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
+)
+
+// faultyNet answers like scriptedNet but drops every TTL-exceeded reply
+// at hops in [faultLo, faultHi], modeling a storm-darkened span. It
+// counts probes so tests can see escalation happen, and implements the
+// observer interfaces to record what the prober reports.
+type faultyNet struct {
+	dist             int
+	respTTL          int
+	lastHop          iputil.Addr
+	midBase          iputil.Addr
+	faultLo, faultHi int
+	probes           int
+	retries          int
+	degWindows       int
+	degRetries       int
+	degExhausted     int
+}
+
+func (s *faultyNet) Ping(dst iputil.Addr, seq int) (PingResult, bool) {
+	return PingResult{RespTTL: s.respTTL}, true
+}
+
+func (s *faultyNet) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) Result {
+	s.probes++
+	switch {
+	case ttl >= s.faultLo && ttl <= s.faultHi:
+		return Result{}
+	case ttl >= s.dist:
+		return Result{Kind: EchoReply}
+	case ttl == s.dist-1:
+		return Result{Kind: TTLExceeded, From: s.lastHop}
+	default:
+		return Result{Kind: TTLExceeded, From: s.midBase + iputil.Addr(ttl)}
+	}
+}
+
+func (s *faultyNet) RecordProbeRetry()        { s.retries++ }
+func (s *faultyNet) RecordDegradedWindow()    { s.degWindows++ }
+func (s *faultyNet) RecordDegradedRetry()     { s.degRetries++ }
+func (s *faultyNet) RecordDegradedExhausted() { s.degExhausted++ }
+
+// TestAdaptiveOffIdentical pins that the Adaptive option defaulting off
+// changes nothing: same replies, same probe count, no degraded flags.
+func TestAdaptiveOffIdentical(t *testing.T) {
+	mk := func() *faultyNet {
+		return &faultyNet{dist: 8, respTTL: 56, lastHop: 0x64000001, midBase: 0x63000000, faultLo: 3, faultHi: 5}
+	}
+	off := mk()
+	resOff := MDA(off, 1, MDAOptions{FirstTTL: 1, MaxTTL: 12})
+	if resOff.Degraded || resOff.BudgetExhausted {
+		t.Fatalf("degradation flagged with Adaptive off: %+v", resOff)
+	}
+	if off.degWindows+off.degRetries+off.degExhausted != 0 {
+		t.Fatalf("degradation observed with Adaptive off")
+	}
+
+	// An adaptive run over a fault-free network is also bit-identical:
+	// the streak never forms, so no escalation path is taken.
+	clean, cleanAdaptive := mk(), mk()
+	clean.faultLo, clean.faultHi = -1, -1
+	cleanAdaptive.faultLo, cleanAdaptive.faultHi = -1, -1
+	r1 := MDA(clean, 1, MDAOptions{FirstTTL: 1, MaxTTL: 12})
+	r2 := MDA(cleanAdaptive, 1, MDAOptions{FirstTTL: 1, MaxTTL: 12, Adaptive: true})
+	if clean.probes != cleanAdaptive.probes {
+		t.Errorf("adaptive run sent %d probes on a clean network, plain run %d", cleanAdaptive.probes, clean.probes)
+	}
+	if r1.DestTTL != r2.DestTTL || r1.Degraded != r2.Degraded || r2.Degraded {
+		t.Errorf("clean adaptive run diverged: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestAdaptiveEscalates pins the degradation state machine: a span of
+// dead hops long enough to cross the streak threshold marks the run
+// degraded, and subsequent windows spend escalated retries from the
+// budget (visible as extra probes relative to the non-adaptive run).
+func TestAdaptiveEscalates(t *testing.T) {
+	mk := func() *faultyNet {
+		return &faultyNet{dist: 12, respTTL: 52, lastHop: 0x64000001, midBase: 0x63000000, faultLo: 2, faultHi: 9}
+	}
+	plain, adaptive := mk(), mk()
+	MDA(plain, 1, MDAOptions{FirstTTL: 1, MaxTTL: 16})
+	res := MDA(adaptive, 1, MDAOptions{FirstTTL: 1, MaxTTL: 16, Adaptive: true})
+	if !res.Degraded {
+		t.Fatal("eight dead hops did not mark the run degraded")
+	}
+	if adaptive.degWindows != 1 {
+		t.Errorf("degraded window recorded %d times, want 1", adaptive.degWindows)
+	}
+	if adaptive.degRetries == 0 {
+		t.Error("no escalated retries recorded")
+	}
+	if adaptive.probes <= plain.probes {
+		t.Errorf("adaptive run sent %d probes, plain %d — escalation invisible", adaptive.probes, plain.probes)
+	}
+	// Escalated retries are a subset of all retries.
+	if adaptive.degRetries > adaptive.retries {
+		t.Errorf("degraded retries %d exceed total retries %d", adaptive.degRetries, adaptive.retries)
+	}
+}
+
+// TestAdaptiveBudgetExhausts pins the cap: with a tiny budget the run
+// stops escalating, reports exhaustion exactly once, and never spends
+// more than the budget.
+func TestAdaptiveBudgetExhausts(t *testing.T) {
+	n := &faultyNet{dist: 12, respTTL: 52, lastHop: 0x64000001, midBase: 0x63000000, faultLo: 2, faultHi: 9}
+	res := MDA(n, 1, MDAOptions{FirstTTL: 1, MaxTTL: 16, Adaptive: true, AdaptiveBudget: 3})
+	if !res.Degraded {
+		t.Fatal("run not degraded")
+	}
+	if !res.BudgetExhausted {
+		t.Fatal("budget of 3 across eight dead hops not exhausted")
+	}
+	if n.degRetries != 3 {
+		t.Errorf("spent %d escalated retries, budget was 3", n.degRetries)
+	}
+	if n.degExhausted != 1 {
+		t.Errorf("exhaustion recorded %d times, want 1", n.degExhausted)
+	}
+
+	// A negative budget means no escalation headroom at all: degraded
+	// and exhausted are still reported, but no escalated retry fires.
+	n2 := &faultyNet{dist: 12, respTTL: 52, lastHop: 0x64000001, midBase: 0x63000000, faultLo: 2, faultHi: 9}
+	res2 := MDA(n2, 1, MDAOptions{FirstTTL: 1, MaxTTL: 16, Adaptive: true, AdaptiveBudget: -1})
+	if !res2.Degraded || !res2.BudgetExhausted {
+		t.Fatalf("zero-headroom run: %+v", res2)
+	}
+	if n2.degRetries != 0 {
+		t.Errorf("zero-headroom run spent %d escalated retries", n2.degRetries)
+	}
+}
+
+// TestFindLastHopsPropagatesDegradation pins that the halving loop ORs
+// degradation flags across its MDA runs into the LastHopResult.
+func TestFindLastHopsPropagatesDegradation(t *testing.T) {
+	// respTTL 56 -> estimate 8 -> firstTTL 7, right at the start of the
+	// dead span [7, 10]: the walk loses four consecutive windows before
+	// the clean hop at 11 and the echo at 12, so the MDA run degrades
+	// and (with a tiny budget) exhausts — and both flags must survive
+	// into the LastHopResult.
+	n := &faultyNet{dist: 12, respTTL: 56, lastHop: 0x64000001, midBase: 0x63000000, faultLo: 7, faultHi: 10}
+	res := FindLastHops(n, 1, MDAOptions{Adaptive: true, AdaptiveBudget: 4})
+	if !res.Degraded {
+		t.Fatalf("degradation lost by FindLastHops: %+v", res)
+	}
+	if !res.BudgetExhausted {
+		t.Fatalf("exhaustion lost by FindLastHops: %+v", res)
+	}
+}
+
+// TestInstrumentedDegradedCounters pins the telemetry surface: the
+// degraded_* counters appear under the active stage and the flat totals
+// add up.
+func TestInstrumentedDegradedCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	inner := &faultyNet{dist: 12, respTTL: 52, lastHop: 0x64000001, midBase: 0x63000000, faultLo: 2, faultHi: 9}
+	net := Instrument(inner, reg, "measure")
+	MDA(net, 1, MDAOptions{FirstTTL: 1, MaxTTL: 16, Adaptive: true, AdaptiveBudget: 5})
+	if net.DegradedWindows() != 1 {
+		t.Errorf("DegradedWindows = %d, want 1", net.DegradedWindows())
+	}
+	if net.DegradedRetries() != 5 {
+		t.Errorf("DegradedRetries = %d, want the whole budget of 5", net.DegradedRetries())
+	}
+	if net.DegradedExhausted() != 1 {
+		t.Errorf("DegradedExhausted = %d, want 1", net.DegradedExhausted())
+	}
+	for name, want := range map[string]int64{
+		"probe.measure.degraded_windows":   1,
+		"probe.measure.degraded_retries":   5,
+		"probe.measure.degraded_exhausted": 1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}

@@ -22,6 +22,13 @@ type LastHopResult struct {
 	DestTTL int
 	// Paths holds the enumerated path suffixes for diagnostics.
 	Paths *trace.PathSet
+	// Degraded reports that at least one underlying MDA run crossed the
+	// consecutive-loss threshold (see MDAOptions.Adaptive).
+	Degraded bool
+	// BudgetExhausted reports that at least one underlying MDA run
+	// spent its whole adaptive escalation budget; the measurement is
+	// complete but deserves less confidence.
+	BudgetExhausted bool
 }
 
 // pingAttempts is how many echo probes to try before declaring a
@@ -52,9 +59,14 @@ func FindLastHops(net Network, dst iputil.Addr, opts MDAOptions) LastHopResult {
 		firstTTL = opts.MaxTTL
 	}
 
+	// Degradation accumulates across the halving loop's MDA runs: a
+	// retrace that went fine does not launder an earlier faulted walk.
+	degraded, exhausted := false, false
 	for {
 		opts.FirstTTL = firstTTL
 		res := MDA(net, dst, opts)
+		degraded = degraded || res.Degraded
+		exhausted = exhausted || res.BudgetExhausted
 		switch {
 		case res.ImmediateEcho() && firstTTL > 1:
 			// Overestimate: the destination answered before any
@@ -70,12 +82,14 @@ func FindLastHops(net Network, dst iputil.Addr, opts MDAOptions) LastHopResult {
 		case !res.DestReached:
 			// A full trace could not reach the destination: it
 			// stopped answering mid-measurement.
-			return LastHopResult{}
+			return LastHopResult{Degraded: degraded, BudgetExhausted: exhausted}
 		}
 		out := LastHopResult{
-			Responded: true,
-			DestTTL:   res.DestTTL,
-			Paths:     res.Paths,
+			Responded:       true,
+			DestTTL:         res.DestTTL,
+			Paths:           res.Paths,
+			Degraded:        degraded,
+			BudgetExhausted: exhausted,
 		}
 		out.LastHops, out.Unresponsive = res.Paths.LastHops()
 		return out

@@ -20,6 +20,17 @@ type MDAOptions struct {
 	// unanswered, before recording an unresponsive hop. Zero uses the
 	// default (2); pass a negative value for single-shot probing.
 	Retries int
+	// Adaptive enables fault-adaptive escalation: once a probing window
+	// looks faulted (degradedStreak consecutive windows lost even after
+	// the normal retries), later windows get extra retransmissions,
+	// paid from a capped budget. Disabled by default; runs with it off
+	// behave bit-identically to runs before the option existed.
+	Adaptive bool
+	// AdaptiveBudget caps the total escalated retransmissions one MDA
+	// run may spend after it turns degraded. Zero uses the default
+	// (32); pass a negative value for no escalation headroom (windows
+	// are still marked degraded, and exhaustion reports immediately).
+	AdaptiveBudget int
 }
 
 // withDefaults fills zero fields with the paper's operating parameters.
@@ -41,8 +52,21 @@ func (o MDAOptions) withDefaults() MDAOptions {
 	} else if o.Retries < 0 {
 		o.Retries = 0
 	}
+	if o.AdaptiveBudget == 0 {
+		o.AdaptiveBudget = 32
+	} else if o.AdaptiveBudget < 0 {
+		o.AdaptiveBudget = 0
+	}
 	return o
 }
+
+// degradedStreak is how many consecutive fully-lost probing windows mark
+// an MDA run as degraded.
+const degradedStreak = 3
+
+// adaptiveEscalation is how many extra retransmissions a degraded run
+// adds per window, budget permitting.
+const adaptiveEscalation = 2
 
 // MDAResult is the outcome of one Paris-traceroute MDA run toward a
 // destination.
@@ -58,6 +82,13 @@ type MDAResult struct {
 	// discovered (hop sequences from FirstTTL up to the last-hop
 	// router).
 	Paths *trace.PathSet
+	// Degraded reports that the run crossed the consecutive-loss
+	// threshold and (with Adaptive set) escalated its retries.
+	Degraded bool
+	// BudgetExhausted reports that a degraded run wanted to escalate
+	// but had spent its whole AdaptiveBudget; the remaining windows ran
+	// with normal retries only, so the result deserves less confidence.
+	BudgetExhausted bool
 }
 
 // ImmediateEcho reports whether the destination answered at the starting
@@ -80,16 +111,57 @@ func MDA(net Network, dst iputil.Addr, opts MDAOptions) MDAResult {
 	var hopRows [][]trace.Hop
 	var salt uint32
 	retryObs, _ := net.(ProbeRetryObserver)
+	degObs, _ := net.(DegradedObserver)
+	// failStreak counts consecutive windows lost even after every retry;
+	// crossing degradedStreak turns the adaptive escalation on. budget is
+	// the escalated-retransmission allowance left once degraded.
+	failStreak := 0
+	budget := opts.AdaptiveBudget
 	probeOnce := func(ttl int, flow uint16) Result {
+		maxAttempts := opts.Retries
+		if opts.Adaptive && res.Degraded {
+			extra := adaptiveEscalation
+			if extra > budget {
+				extra = budget
+			}
+			maxAttempts += extra
+		}
 		for attempt := 0; ; attempt++ {
 			salt++
 			if attempt > 0 && retryObs != nil {
 				retryObs.RecordProbeRetry()
 			}
+			if attempt > opts.Retries {
+				// An escalated retransmission, paid from the budget.
+				budget--
+				if degObs != nil {
+					degObs.RecordDegradedRetry()
+				}
+			}
 			r := net.Probe(dst, ttl, flow, salt)
-			if r.Kind != NoReply || attempt >= opts.Retries {
+			if r.Kind != NoReply {
+				failStreak = 0
 				return r
 			}
+			if attempt < maxAttempts {
+				continue
+			}
+			failStreak++
+			if opts.Adaptive {
+				if !res.Degraded && failStreak >= degradedStreak {
+					res.Degraded = true
+					if degObs != nil {
+						degObs.RecordDegradedWindow()
+					}
+				}
+				if res.Degraded && budget == 0 && !res.BudgetExhausted {
+					res.BudgetExhausted = true
+					if degObs != nil {
+						degObs.RecordDegradedExhausted()
+					}
+				}
+			}
+			return r
 		}
 	}
 

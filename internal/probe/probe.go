@@ -75,16 +75,23 @@ type Instrumented struct {
 	probes       atomic.Int64
 	pingRetries  atomic.Int64
 	probeRetries atomic.Int64
+
+	degradedWindows   atomic.Int64
+	degradedRetries   atomic.Int64
+	degradedExhausted atomic.Int64
 }
 
 // stageCounters caches the per-stage registry handles so hot-path probes
 // do not take the registry lock.
 type stageCounters struct {
-	name         string
-	pings        *telemetry.Counter
-	probes       *telemetry.Counter
-	pingRetries  *telemetry.Counter
-	probeRetries *telemetry.Counter
+	name              string
+	pings             *telemetry.Counter
+	probes            *telemetry.Counter
+	pingRetries       *telemetry.Counter
+	probeRetries      *telemetry.Counter
+	degradedWindows   *telemetry.Counter
+	degradedRetries   *telemetry.Counter
+	degradedExhausted *telemetry.Counter
 }
 
 // Instrument wraps net with probe accounting attributed to the given
@@ -107,6 +114,9 @@ func (n *Instrumented) SetStage(stage string) {
 		sc.probes = n.reg.Counter("probe." + stage + ".probes")
 		sc.pingRetries = n.reg.Counter("probe." + stage + ".ping_retries")
 		sc.probeRetries = n.reg.Counter("probe." + stage + ".probe_retries")
+		sc.degradedWindows = n.reg.Counter("probe." + stage + ".degraded_windows")
+		sc.degradedRetries = n.reg.Counter("probe." + stage + ".degraded_retries")
+		sc.degradedExhausted = n.reg.Counter("probe." + stage + ".degraded_exhausted")
 	}
 	n.stage.Store(sc)
 }
@@ -143,6 +153,37 @@ func (n *Instrumented) RecordProbeRetry() {
 	n.stage.Load().probeRetries.Inc()
 }
 
+// RecordDegradedWindow implements DegradedObserver: an MDA run crossed
+// the consecutive-loss threshold and turned its escalation on.
+func (n *Instrumented) RecordDegradedWindow() {
+	n.degradedWindows.Add(1)
+	n.stage.Load().degradedWindows.Inc()
+}
+
+// RecordDegradedRetry implements DegradedObserver: one escalated
+// retransmission was spent from an adaptive budget (also counted by
+// RecordProbeRetry, as every retransmission is).
+func (n *Instrumented) RecordDegradedRetry() {
+	n.degradedRetries.Add(1)
+	n.stage.Load().degradedRetries.Inc()
+}
+
+// RecordDegradedExhausted implements DegradedObserver: a degraded run
+// ran out of escalation budget.
+func (n *Instrumented) RecordDegradedExhausted() {
+	n.degradedExhausted.Add(1)
+	n.stage.Load().degradedExhausted.Inc()
+}
+
+// DegradedWindows returns how many MDA runs turned degraded.
+func (n *Instrumented) DegradedWindows() int64 { return n.degradedWindows.Load() }
+
+// DegradedRetries returns how many retransmissions were escalations.
+func (n *Instrumented) DegradedRetries() int64 { return n.degradedRetries.Load() }
+
+// DegradedExhausted returns how many runs exhausted their budget.
+func (n *Instrumented) DegradedExhausted() int64 { return n.degradedExhausted.Load() }
+
 // Pings returns the number of echo requests sent.
 func (n *Instrumented) Pings() int64 { return n.pings.Load() }
 
@@ -161,6 +202,17 @@ func (n *Instrumented) ProbeRetries() int64 { return n.probeRetries.Load() }
 // free-running nonce), so the prober reports them explicitly.
 type ProbeRetryObserver interface {
 	RecordProbeRetry()
+}
+
+// DegradedObserver is implemented by Networks that want the adaptive
+// prober's degradation signals: a window crossing the loss threshold, an
+// escalated retransmission, and a budget running dry (see MDAOptions
+// .Adaptive). Instrumented surfaces them as probe.<stage>.degraded_*
+// counters.
+type DegradedObserver interface {
+	RecordDegradedWindow()
+	RecordDegradedRetry()
+	RecordDegradedExhausted()
 }
 
 // InferDefaultTTL buckets a received echo-reply TTL into the assumed

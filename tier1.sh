@@ -9,7 +9,12 @@
 #   clustering/validation pools, and the telemetry registry all share
 #   memory across goroutines), so a separate non-race leg would only
 #   repeat the same assertions. -count=1 defeats the test cache so the
-#   gate always executes, never replays.
+#   gate always executes, never replays;
+# - the fault-injection layer and the accuracy harness carry a coverage
+#   floor: they are the safety net that catches inference regressions in
+#   everything else, so untested paths there silently weaken every other
+#   gate. -short skips their multi-run determinism legs (already covered
+#   by the -race run above), keeping the coverage pass cheap.
 set -ex
 
 test -z "$(gofmt -l . | tee /dev/stderr)"
@@ -17,3 +22,10 @@ go vet ./...
 go build ./...
 go run ./cmd/hobbitlint ./...
 go test -race -count=1 ./...
+
+for pkg in ./internal/faultplan ./internal/harness; do
+    cov=$(go test -short -count=1 -cover "$pkg" | tee /dev/stderr \
+        | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    test -n "$cov"
+    awk -v cov="$cov" -v floor=85 'BEGIN { exit !(cov + 0 >= floor) }'
+done
