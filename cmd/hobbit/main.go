@@ -11,8 +11,9 @@
 //	       [-fault-plan NAME] [-dump FILE] [-top N] [-json] [-progress]
 //	       [-metrics-addr HOST:PORT]
 //
-// Every run is instrumented: -json emits a machine-readable summary with
-// a telemetry section (per-stage durations, per-stage probe counts,
+// Every run is instrumented: -json emits the versioned api.RunSummaryV1
+// (the same bytes hobbitd serves from /v1/campaigns/{id}/result) with a
+// telemetry section (per-stage durations, per-stage probe counts,
 // histograms), -progress streams live progress lines to stderr, and
 // -metrics-addr serves the live registry snapshot as JSON over HTTP while
 // the run executes.
@@ -20,17 +21,20 @@ package main
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"strings"
 
 	"github.com/hobbitscan/hobbit/internal/aggregate"
+	"github.com/hobbitscan/hobbit/internal/api"
 	"github.com/hobbitscan/hobbit/internal/blockmap"
 	"github.com/hobbitscan/hobbit/internal/core"
 	"github.com/hobbitscan/hobbit/internal/faultplan"
@@ -87,6 +91,26 @@ type runConfig struct {
 	// stdout overrides the output stream (tests capture it; nil means
 	// os.Stdout).
 	stdout io.Writer
+	// metricsReady, when set, receives the bound metrics listener address
+	// before the pipeline starts (tests bind to :0 and need the port).
+	metricsReady func(net.Addr)
+}
+
+// options assembles the serializable pipeline knobs from the flags. The
+// fault plan implies adaptive probing, exactly as hobbitd normalizes it,
+// so the CLI and daemon spell one request the same way.
+func (rc runConfig) options() core.Options {
+	opts := core.Options{
+		Workers:        rc.workers,
+		ClusterWorkers: rc.clusterWorkers,
+		CensusWorkers:  rc.censusWorkers,
+		SkipClustering: rc.skipClustering,
+		ValidatePairs:  20000,
+	}
+	if rc.faultPlan != "" {
+		opts.MDA.Adaptive = true
+	}
+	return opts
 }
 
 func run(ctx context.Context, rc runConfig) error {
@@ -96,19 +120,12 @@ func run(ctx context.Context, rc runConfig) error {
 	}
 	// Negative worker counts used to flow straight into the worker pools,
 	// where they silently behaved like the auto value instead of the
-	// serial run the user probably wanted; reject them up front. Zero
-	// stays the documented "use GOMAXPROCS" value.
-	for _, f := range []struct {
-		name  string
-		value int
-	}{
-		{"-workers", rc.workers},
-		{"-census-workers", rc.censusWorkers},
-		{"-cluster-workers", rc.clusterWorkers},
-	} {
-		if f.value < 0 {
-			return fmt.Errorf("%s must be >= 0 (0 = GOMAXPROCS), got %d", f.name, f.value)
-		}
+	// serial run the user probably wanted; core.Options.Validate rejects
+	// them (and any other out-of-range knob) up front. Zero stays the
+	// documented "use GOMAXPROCS" value.
+	opts := rc.options()
+	if err := opts.Validate(); err != nil {
+		return err
 	}
 	cfg := netsim.DefaultConfig(rc.blocks)
 	cfg.BigBlockScale = rc.scale
@@ -126,43 +143,56 @@ func run(ctx context.Context, rc runConfig) error {
 
 	reg := telemetry.NewRegistry()
 	if rc.metricsAddr != "" {
-		srv := &http.Server{Addr: rc.metricsAddr, Handler: reg}
-		defer srv.Close()
-		//lint:ignore bare-go metrics server lives for the whole process; srv.Close above unblocks it on return
+		// Bind synchronously so a bad address fails the run instead of a
+		// goroutine's log line, then give the server a real lifecycle:
+		// the serve goroutine is joined on return, after a context-driven
+		// graceful shutdown lets in-flight snapshot requests finish.
+		ln, err := net.Listen("tcp", rc.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		msrv := &http.Server{Handler: reg}
+		var mwg sync.WaitGroup
+		mwg.Add(1)
 		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			defer mwg.Done()
+			if err := msrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "hobbit: metrics server:", err)
 			}
 		}()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := msrv.Shutdown(sctx); err != nil {
+				_ = msrv.Close()
+			}
+			mwg.Wait()
+		}()
+		if rc.metricsReady != nil {
+			rc.metricsReady(ln.Addr())
+		}
 	}
 
-	var mdaOpts probe.MDAOptions
 	if rc.faultPlan != "" {
 		sched, err := faultplan.CompileBuiltin(rc.faultPlan, world)
 		if err != nil {
 			return err
 		}
 		world.SetFaults(sched)
-		mdaOpts.Adaptive = true
 		if !rc.json {
 			fmt.Fprintf(stdout, "fault plan: %s (%d events); adaptive probing enabled\n",
 				sched.Name(), len(sched.Events()))
 		}
 	}
 
-	net := probe.Instrument(probe.NewSimNetwork(world), reg, core.StageMeasure)
+	pnet := probe.Instrument(probe.NewSimNetwork(world), reg, core.StageMeasure)
 	p := &core.Pipeline{
-		Net:            net,
-		Scanner:        world,
-		Blocks:         world.Blocks(),
-		Seed:           rc.seed,
-		Workers:        rc.workers,
-		ClusterWorkers: rc.clusterWorkers,
-		CensusWorkers:  rc.censusWorkers,
-		MDAOpts:        mdaOpts,
-		SkipClustering: rc.skipClustering,
-		ValidatePairs:  20000,
-		Telemetry:      reg,
+		Net:       pnet,
+		Scanner:   world,
+		Blocks:    world.Blocks(),
+		Seed:      rc.seed,
+		Options:   opts,
+		Telemetry: reg,
 	}
 	if rc.progress {
 		p.Progress = telemetry.NewLineSink(os.Stderr, 100)
@@ -173,11 +203,12 @@ func run(ctx context.Context, rc runConfig) error {
 		return err
 	}
 	if rc.json {
-		return writeJSON(stdout, rc, world, out, net, reg)
+		return api.EncodeRunSummaryV1(stdout,
+			api.BuildRunSummaryV1(len(world.Blocks()), rc.faultPlan, out, pnet, reg))
 	}
 	fmt.Fprintf(stdout, "pipeline: %d eligible /24s measured in %v (%d pings, %d probes, %d retries)\n\n",
-		len(out.Eligible), time.Since(start).Round(time.Millisecond), net.Pings(), net.Probes(),
-		net.PingRetries()+net.ProbeRetries())
+		len(out.Eligible), time.Since(start).Round(time.Millisecond), pnet.Pings(), pnet.Probes(),
+		pnet.PingRetries()+pnet.ProbeRetries())
 
 	// Table 1-style classification summary.
 	sum := out.Campaign.Summary()
@@ -233,58 +264,6 @@ func run(ctx context.Context, rc runConfig) error {
 		fmt.Fprintf(stdout, "\nblock map written to %s\n", rc.dump)
 	}
 	return nil
-}
-
-// runSummary is the -json output shape.
-type runSummary struct {
-	Universe    int                `json:"universe_blocks"`
-	Eligible    int                `json:"eligible_blocks"`
-	Pings       int64              `json:"pings"`
-	Probes      int64              `json:"probes"`
-	Retries     int64              `json:"retries"`
-	Classes     map[string]int     `json:"classification"`
-	Homogeneous int                `json:"homogeneous_blocks"`
-	Measurable  int                `json:"measurable_blocks"`
-	Aggregates  int                `json:"identical_set_aggregates"`
-	Clusters    int                `json:"mcl_clusters"`
-	Validated   int                `json:"validated_clusters"`
-	Final       int                `json:"final_blocks"`
-	FaultPlan   string             `json:"fault_plan,omitempty"`
-	LowConf     int                `json:"low_confidence_blocks"`
-	Telemetry   telemetry.Snapshot `json:"telemetry"`
-}
-
-func writeJSON(w io.Writer, rc runConfig, world *netsim.World, out *core.Output, net *probe.Instrumented, reg *telemetry.Registry) error {
-	sum := out.Campaign.Summary()
-	s := runSummary{
-		Universe:    len(world.Blocks()),
-		Eligible:    len(out.Eligible),
-		Pings:       net.Pings(),
-		Probes:      net.Probes(),
-		Retries:     net.PingRetries() + net.ProbeRetries(),
-		Classes:     make(map[string]int),
-		Homogeneous: sum.Homogeneous(),
-		Measurable:  sum.Measurable(),
-		Aggregates:  len(out.Aggregates),
-		Final:       len(out.Final),
-		FaultPlan:   rc.faultPlan,
-		LowConf:     len(out.LowConfidence),
-		Telemetry:   reg.Snapshot(),
-	}
-	for cls, n := range sum.Counts {
-		s.Classes[cls.String()] = n
-	}
-	if out.Clustering != nil {
-		s.Clusters = len(out.Clustering.Clusters)
-		for _, ok := range out.Validated {
-			if ok {
-				s.Validated++
-			}
-		}
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(s)
 }
 
 // dumpBlocks writes the final block map in the blockmap text format.

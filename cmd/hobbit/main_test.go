@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -165,31 +167,74 @@ func TestRunJSONDeterministic(t *testing.T) {
 
 // TestRunRejectsNegativeWorkers pins the flag-validation bugfix: a
 // negative worker count used to fall through to the pools and silently
-// behave like the auto value; now each flag fails fast with its name in
-// the error, before the world is even built.
+// behave like the auto value; now core.Options.Validate fails fast with
+// the offending field named, before the world is even built.
 func TestRunRejectsNegativeWorkers(t *testing.T) {
 	cases := []struct {
-		flag string
-		rc   runConfig
+		field string
+		rc    runConfig
 	}{
-		{"-workers", runConfig{blocks: 10, workers: -1}},
-		{"-census-workers", runConfig{blocks: 10, censusWorkers: -2}},
-		{"-cluster-workers", runConfig{blocks: 10, clusterWorkers: -8}},
+		{"workers", runConfig{blocks: 10, workers: -1}},
+		{"census_workers", runConfig{blocks: 10, censusWorkers: -2}},
+		{"cluster_workers", runConfig{blocks: 10, clusterWorkers: -8}},
 	}
 	for _, tc := range cases {
 		err := run(context.Background(), tc.rc)
 		if err == nil {
-			t.Errorf("%s: negative value accepted", tc.flag)
+			t.Errorf("%s: negative value accepted", tc.field)
 			continue
 		}
-		if !strings.Contains(err.Error(), tc.flag) || !strings.Contains(err.Error(), "GOMAXPROCS") {
-			t.Errorf("%s: unhelpful error %q", tc.flag, err)
+		if !strings.Contains(err.Error(), tc.field) || !strings.Contains(err.Error(), "GOMAXPROCS") {
+			t.Errorf("%s: unhelpful error %q", tc.field, err)
 		}
 	}
 	// Zero remains the documented auto value, not an error.
 	if err := run(context.Background(), runConfig{blocks: 60, scale: 0.02, seed: 7, top: 1,
 		skipClustering: true, stdout: io.Discard}); err != nil {
 		t.Errorf("zero worker counts rejected: %v", err)
+	}
+}
+
+// TestRunMetricsServerLifecycle pins the -metrics-addr bugfix: the
+// listener binds synchronously (a bad address fails the run), serves the
+// live snapshot while the pipeline executes, and is gone — gracefully
+// shut down and joined — by the time run returns.
+func TestRunMetricsServerLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline smoke test is slow")
+	}
+	var addr string
+	err := run(context.Background(), runConfig{
+		blocks: 60, scale: 0.02, seed: 7, top: 1, skipClustering: true,
+		stdout: io.Discard, metricsAddr: "127.0.0.1:0",
+		metricsReady: func(a net.Addr) {
+			addr = a.String()
+			resp, err := http.Get("http://" + addr + "/")
+			if err != nil {
+				t.Errorf("metrics fetch during run: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			var snap map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+				t.Errorf("metrics snapshot not JSON: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		t.Fatal("metricsReady hook never ran")
+	}
+	if conn, err := net.Dial("tcp", addr); err == nil {
+		conn.Close()
+		t.Error("metrics listener still accepting after run returned")
+	}
+
+	// And the synchronous bind: an unusable address is a startup error.
+	if err := run(context.Background(), runConfig{blocks: 10, metricsAddr: "256.0.0.1:bad"}); err == nil {
+		t.Error("bad -metrics-addr accepted")
 	}
 }
 

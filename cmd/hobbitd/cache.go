@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"sync"
+
+	"github.com/hobbitscan/hobbit/internal/api"
+	"github.com/hobbitscan/hobbit/internal/core"
+)
+
+// cacheKey canonicalizes a (world, options) pair into the string the
+// result cache keys on. The world spec arrives already normalized
+// (defaults applied), and the options collapse via core.Options.Canonical,
+// so every request that would produce bit-identical measurements — any
+// worker counts, implicit or explicit defaults — lands on the same key.
+// This is the determinism contract of DESIGN.md §4g: same key, same
+// bytes, zero probes.
+func cacheKey(world api.WorldSpecV1, opts core.Options) (string, error) {
+	b, err := json.Marshal(struct {
+		World   api.WorldSpecV1 `json:"world"`
+		Options core.Options    `json:"options"`
+	}{world, opts.Canonical()})
+	return string(b), err
+}
+
+// resultCache maps canonical campaign keys to the exact result bytes the
+// first run produced. Entries are immutable; a bounded LRU keeps the hot
+// keys ("millions of users" ask the same few questions) and evicts cold
+// ones.
+type resultCache struct {
+	max int
+
+	mu      sync.Mutex
+	entries map[string][]byte
+	order   []string // LRU: front is coldest
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{max: max, entries: make(map[string][]byte)}
+}
+
+// get returns the cached result bytes and refreshes the key's recency.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.entries[key]
+	if ok {
+		c.touchLocked(key)
+	}
+	return b, ok
+}
+
+// put stores the result bytes for key, evicting the coldest entries to
+// stay within the bound. A concurrent duplicate run (two identical
+// campaigns admitted before either finished) writes the same bytes, so
+// last-write-wins is safe.
+func (c *resultCache) put(key string, result []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = result
+	c.touchLocked(key)
+	for len(c.entries) > c.max {
+		cold := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, cold)
+	}
+}
+
+// touchLocked moves key to the warm end of the LRU order.
+func (c *resultCache) touchLocked(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hobbitscan/hobbit/internal/api"
+)
+
+// TestLoadConcurrentClients is the CI load gate (env-gated so `go test
+// ./...` stays fast): N clients hammer one daemon with synchronous
+// campaign submissions drawn from a small seed set — after the first
+// round the cache serves most of them — and the run fails on any
+// request error or a p99 latency above the ceiling.
+//
+// Enable with HOBBITD_LOADTEST=1; tune with HOBBITD_LOADTEST_CLIENTS,
+// HOBBITD_LOADTEST_REQUESTS (per client), and HOBBITD_LOADTEST_P99_MS.
+func TestLoadConcurrentClients(t *testing.T) {
+	if os.Getenv("HOBBITD_LOADTEST") == "" {
+		t.Skip("set HOBBITD_LOADTEST=1 to run the load gate")
+	}
+	clients := envInt("HOBBITD_LOADTEST_CLIENTS", 16)
+	requests := envInt("HOBBITD_LOADTEST_REQUESTS", 8)
+	p99Ceiling := time.Duration(envInt("HOBBITD_LOADTEST_P99_MS", 5000)) * time.Millisecond
+	const seeds = 4
+
+	_, ts := newTestServer(t, nil)
+
+	// Warm the cache serially so the measured phase exercises the steady
+	// state: concurrent clients racing mostly-hit requests.
+	for seed := uint64(0); seed < seeds; seed++ {
+		resp, sess := postCampaign(t, ts, submitBody(seed, func(r *api.SubmitRequestV1) { r.Wait = true }))
+		resp.Body.Close()
+		if sess.State != api.StateDone {
+			t.Fatalf("warmup seed %d ended %s: %s", seed, sess.State, sess.Error)
+		}
+	}
+
+	latencies := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				seed := uint64((c + i) % seeds)
+				start := time.Now()
+				resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json",
+					submitBody(seed, func(r *api.SubmitRequestV1) { r.Wait = true }))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				sess := decodeJSON[api.SessionV1](t, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || sess.State != api.StateDone {
+					errs[c] = fmt.Errorf("request %d/%d: %s, session %s: %s", c, i, resp.Status, sess.State, sess.Error)
+					return
+				}
+				latencies[c] = append(latencies[c], time.Since(start))
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var all []time.Duration
+	for c := range latencies {
+		if errs[c] != nil {
+			t.Errorf("client %d failed: %v", c, errs[c])
+		}
+		all = append(all, latencies[c]...)
+	}
+	if t.Failed() {
+		return
+	}
+	if want := clients * requests; len(all) != want {
+		t.Fatalf("completed %d requests, want %d", len(all), want)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p50 := all[len(all)/2]
+	p99 := all[(len(all)*99)/100]
+	t.Logf("load: %d requests, p50 %v, p99 %v, max %v", len(all), p50, p99, all[len(all)-1])
+	if p99 > p99Ceiling {
+		t.Errorf("p99 latency %v exceeds ceiling %v", p99, p99Ceiling)
+	}
+
+	c := counters(t, ts)
+	if c["serve.cache_hits"] == 0 {
+		t.Error("load run never hit the cache")
+	}
+	t.Logf("load: cache hits %d, misses %d, probes %d",
+		c["serve.cache_hits"], c["serve.cache_misses"], c["serve.probes_total"])
+}
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}

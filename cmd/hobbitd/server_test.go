@@ -1,0 +1,590 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hobbitscan/hobbit/internal/api"
+	"github.com/hobbitscan/hobbit/internal/core"
+)
+
+// testWorld is small enough that a full campaign finishes in well under a
+// second, so the suite can run dozens of them.
+const (
+	testBlocks = 120
+	testScale  = 0.02
+)
+
+func newTestServer(t *testing.T, mut func(*serverConfig)) (*server, *httptest.Server) {
+	t.Helper()
+	cfg := serverConfig{
+		DefaultWorld: api.WorldSpecV1{Blocks: testBlocks, Scale: testScale},
+		Now:          time.Now,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv := newServer(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func submitBody(seed uint64, mut func(*api.SubmitRequestV1)) *bytes.Reader {
+	req := api.SubmitRequestV1{World: api.WorldSpecV1{Seed: seed}}
+	if mut != nil {
+		mut(&req)
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	return bytes.NewReader(b)
+}
+
+func decodeJSON[T any](t *testing.T, r io.Reader) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(r).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+func postCampaign(t *testing.T, ts *httptest.Server, body io.Reader) (*http.Response, api.SessionV1) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %s: %s", resp.Status, b)
+	}
+	return resp, decodeJSON[api.SessionV1](t, resp.Body)
+}
+
+// waitResult blocks on GET .../result?wait=1 and returns the summary
+// bytes once the session is done.
+func waitResult(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/result?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result %s: %s: %s", id, resp.Status, b)
+	}
+	return b
+}
+
+func counters(t *testing.T, ts *httptest.Server) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	snap := decodeJSON[struct {
+		Counters map[string]int64 `json:"counters"`
+	}](t, resp.Body)
+	return snap.Counters
+}
+
+func errorCode(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	return decodeJSON[api.ErrorV1](t, resp.Body).Error.Code
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := decodeJSON[map[string]string](t, resp.Body)
+	if resp.StatusCode != http.StatusOK || body["api"] != api.Version {
+		t.Fatalf("healthz = %s %v", resp.Status, body)
+	}
+}
+
+// TestSubmitValidation pins the 400 paths: malformed JSON, unknown
+// fields (the versioning contract rejects what v1 does not define),
+// out-of-range worlds, unknown fault plans, bad options.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, func(c *serverConfig) { c.MaxBlocks = 500 })
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed", `{`},
+		{"unknown field", `{"world": {"blocks": 10}, "shards": 4}`},
+		{"unknown world field", `{"world": {"blocks": 10, "universe": 9}}`},
+		{"blocks over ceiling", `{"world": {"blocks": 100000}}`},
+		{"negative blocks", `{"world": {"blocks": -5}}`},
+		{"bad scale", `{"world": {"scale": 40}}`},
+		{"negative epoch", `{"world": {"epoch": -1}}`},
+		{"unknown fault plan", `{"world": {"fault_plan": "meteor-strike"}}`},
+		{"negative timeout", `{"timeout_ms": -4}`},
+		{"negative workers", `{"options": {"workers": -1}}`},
+		{"bad confidence", `{"options": {"mda": {"confidence": 7}}}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s, want 400", tc.name, resp.Status)
+		}
+		if code := errorCode(t, resp); code != api.CodeBadRequest {
+			t.Errorf("%s: code %q, want %q", tc.name, code, api.CodeBadRequest)
+		}
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for _, path := range []string{"/v1/campaigns/c-404", "/v1/campaigns/c-404/result", "/v2/campaigns", "/nope"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %s, want 404", path, resp.Status)
+		}
+		if code := errorCode(t, resp); code != api.CodeNotFound {
+			t.Errorf("%s: code %q, want %q", path, code, api.CodeNotFound)
+		}
+	}
+}
+
+// TestCampaignLifecycle drives one async campaign through every
+// endpoint: submit (202, queued), status, blocking result, list, session
+// metrics, server metrics.
+func TestCampaignLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, sess := postCampaign(t, ts, submitBody(7, nil))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit status = %s, want 202", resp.Status)
+	}
+	if sess.ID == "" || sess.CacheHit {
+		t.Fatalf("bad submit session: %+v", sess)
+	}
+	if sess.World.Blocks != testBlocks || sess.World.Scale != testScale {
+		t.Errorf("world defaults not applied: %+v", sess.World)
+	}
+
+	// The result endpoint before completion either waits (wait=1, below)
+	// or conflicts; the status endpoint always answers.
+	result := waitResult(t, ts, sess.ID)
+	var summary api.RunSummaryV1
+	if err := json.Unmarshal(result, &summary); err != nil {
+		t.Fatalf("result is not a RunSummaryV1: %v", err)
+	}
+	if summary.Universe != testBlocks || summary.Probes == 0 {
+		t.Errorf("implausible summary: universe=%d probes=%d", summary.Universe, summary.Probes)
+	}
+
+	st, err := http.Get(ts.URL + "/v1/campaigns/" + sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := decodeJSON[api.SessionV1](t, st.Body)
+	st.Body.Close()
+	if view.State != api.StateDone || view.FinishedUnixMS == 0 {
+		t.Errorf("post-run view = %+v", view)
+	}
+
+	lr, err := http.Get(ts.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decodeJSON[api.SessionListV1](t, lr.Body)
+	lr.Body.Close()
+	if len(list.Sessions) != 1 || list.Sessions[0].ID != sess.ID {
+		t.Errorf("list = %+v", list)
+	}
+
+	mr, err := http.Get(ts.URL + "/v1/campaigns/" + sess.ID + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessSnap := decodeJSON[struct {
+		Counters map[string]int64 `json:"counters"`
+	}](t, mr.Body)
+	mr.Body.Close()
+	if sessSnap.Counters["campaign.blocks_measured"] == 0 {
+		t.Errorf("session metrics missing campaign counters: %v", sessSnap.Counters)
+	}
+
+	c := counters(t, ts)
+	for _, want := range []string{"serve.sessions_submitted", "serve.cache_misses", "serve.campaigns_completed", "serve.worlds_built", "serve.probes_total"} {
+		if c[want] == 0 {
+			t.Errorf("server counter %s = 0 after a completed run (%v)", want, c)
+		}
+	}
+}
+
+// TestSyncSubmit pins wait=true: one request, terminal session in the
+// response, result immediately fetchable.
+func TestSyncSubmit(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, sess := postCampaign(t, ts, submitBody(7, func(r *api.SubmitRequestV1) { r.Wait = true }))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync submit status = %s, want 200", resp.Status)
+	}
+	if sess.State != api.StateDone {
+		t.Fatalf("sync submit returned non-terminal session: %+v", sess)
+	}
+	if b := waitResult(t, ts, sess.ID); len(b) == 0 {
+		t.Error("empty result after sync run")
+	}
+}
+
+// TestCacheHitDeterminism is the tentpole acceptance check: an identical
+// resubmission — even spelled with different worker counts — is served
+// from the cache with byte-identical result bytes and zero new probes.
+func TestCacheHitDeterminism(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	_, first := postCampaign(t, ts, submitBody(7, nil))
+	cold := waitResult(t, ts, first.ID)
+	before := counters(t, ts)
+	if before["serve.cache_hits"] != 0 || before["serve.cache_misses"] != 1 {
+		t.Fatalf("cold-run counters: %v", before)
+	}
+
+	// Same campaign, different spelling: explicit worker counts differ
+	// from the implicit defaults, but canonicalization (worker counts do
+	// not change output — DESIGN.md §4d) lands on the same cache key.
+	resp, hit := postCampaign(t, ts, submitBody(7, func(r *api.SubmitRequestV1) {
+		r.Options = core.Options{Workers: 3, CensusWorkers: 2}
+	}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache-hit submit status = %s, want 200", resp.Status)
+	}
+	if !hit.CacheHit || hit.State != api.StateDone {
+		t.Fatalf("resubmission missed the cache: %+v", hit)
+	}
+	warm := waitResult(t, ts, hit.ID)
+	if !bytes.Equal(cold, warm) {
+		t.Error("cache hit returned different bytes than the cold run")
+	}
+
+	after := counters(t, ts)
+	if after["serve.cache_hits"] != 1 {
+		t.Errorf("cache_hits = %d, want 1", after["serve.cache_hits"])
+	}
+	if after["serve.probes_total"] != before["serve.probes_total"] ||
+		after["serve.pings_total"] != before["serve.pings_total"] {
+		t.Errorf("cache hit sent probes: before %v after %v", before, after)
+	}
+
+	// A genuinely different campaign misses.
+	_, miss := postCampaign(t, ts, submitBody(8, nil))
+	if miss.CacheHit {
+		t.Error("different seed hit the cache")
+	}
+	waitResult(t, ts, miss.ID)
+	if c := counters(t, ts); c["serve.cache_misses"] != 2 {
+		t.Errorf("cache_misses = %d, want 2", c["serve.cache_misses"])
+	}
+}
+
+// TestSSEEvents subscribes to the progress stream of a campaign and
+// reads it to the terminal "done" event: at least one progress event
+// with monotonic done counts, then the session resource in done state.
+func TestSSEEvents(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	_, sess := postCampaign(t, ts, submitBody(7, nil))
+
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + sess.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	var progress []api.ProgressEventV1
+	var final *api.SessionV1
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "progress":
+				var ev api.ProgressEventV1
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					t.Fatalf("bad progress payload %q: %v", data, err)
+				}
+				progress = append(progress, ev)
+			case "done":
+				var v api.SessionV1
+				if err := json.Unmarshal([]byte(data), &v); err != nil {
+					t.Fatalf("bad done payload %q: %v", data, err)
+				}
+				final = &v
+			}
+		}
+		if final != nil {
+			break
+		}
+	}
+	if final == nil {
+		t.Fatalf("stream ended without a done event (scanner err %v)", sc.Err())
+	}
+	if final.State != api.StateDone {
+		t.Errorf("done event state = %s", final.State)
+	}
+	if len(progress) == 0 {
+		t.Fatal("no progress events before done")
+	}
+	for i := 1; i < len(progress); i++ {
+		if progress[i].Stage == progress[i-1].Stage && progress[i].Done < progress[i-1].Done {
+			t.Errorf("done counts regressed: %+v -> %+v", progress[i-1], progress[i])
+		}
+	}
+}
+
+// TestClientDisconnectAborts pins the wait-mode contract: the campaign
+// runs on the request context, so a client that goes away cancels the
+// run. The server's single campaign slot is held by the test, keeping
+// the session deterministically queued until after the disconnect.
+func TestClientDisconnectAborts(t *testing.T) {
+	srv, ts := newTestServer(t, func(c *serverConfig) { c.MaxCampaigns = 1 })
+	if err := srv.limiter.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.limiter.Release()
+
+	body := submitBody(7, func(r *api.SubmitRequestV1) { r.Wait = true })
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/campaigns", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("request succeeded despite disconnect: %s", resp.Status)
+		}
+		errc <- err
+	}()
+
+	// Wait until the session exists (the handler is parked on the
+	// limiter), then hang up.
+	var id string
+	for i := 0; i < 200 && id == ""; i++ {
+		resp, err := http.Get(ts.URL + "/v1/campaigns")
+		if err != nil {
+			t.Fatal(err)
+		}
+		list := decodeJSON[api.SessionListV1](t, resp.Body)
+		resp.Body.Close()
+		if len(list.Sessions) > 0 {
+			id = list.Sessions[0].ID
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if id == "" {
+		t.Fatal("session never appeared")
+	}
+	cancel()
+	wg.Wait()
+	if err := <-errc; err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("client error = %v, want context cancellation", err)
+	}
+
+	// The session reaches cancelled without ever probing.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view := decodeJSON[api.SessionV1](t, resp.Body)
+		resp.Body.Close()
+		if view.State == api.StateCancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session stuck in %s after disconnect", view.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c := counters(t, ts); c["serve.probes_total"] != 0 || c["serve.campaigns_cancelled"] != 1 {
+		t.Errorf("post-abort counters: %v", c)
+	}
+
+	// The aborted run must not have poisoned the cache: the same
+	// campaign resubmitted runs cold and completes.
+	rr, redo := postCampaign(t, ts, submitBody(7, nil))
+	rr.Body.Close()
+	if redo.CacheHit {
+		t.Error("cancelled run left a cache entry")
+	}
+}
+
+// TestCancelEndpoint pins DELETE: a queued session (slot held by the
+// test) cancels without running.
+func TestCancelEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, func(c *serverConfig) { c.MaxCampaigns = 1 })
+	if err := srv.limiter.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.limiter.Release()
+
+	_, sess := postCampaign(t, ts, submitBody(7, nil))
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+sess.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	rr, err := http.Get(ts.URL + "/v1/campaigns/" + sess.ID + "/result?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.StatusCode != http.StatusConflict {
+		t.Fatalf("result of cancelled session: %s, want 409", rr.Status)
+	}
+	if code := errorCode(t, rr); code != api.CodeRunFailed {
+		t.Errorf("code = %q, want %q", code, api.CodeRunFailed)
+	}
+}
+
+// TestConcurrentSessionsShareWorld races N distinct campaigns over one
+// world spec: the pool must build the world exactly once, and every
+// session must complete. Run under -race, this is the daemon's central
+// concurrency test.
+func TestConcurrentSessionsShareWorld(t *testing.T) {
+	const n = 6
+	_, ts := newTestServer(t, nil)
+
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			// Distinct min_active per submission: same world key, but a
+			// different cache key, so every session truly runs.
+			_, sess := postCampaign(t, ts, submitBody(7, func(r *api.SubmitRequestV1) {
+				r.Options.MinActive = 2 + i%3
+				r.Options.ValidatePairs = 100 * (i + 1)
+			}))
+			ids[i] = sess.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if len(waitResult(t, ts, id)) == 0 {
+			t.Errorf("session %s returned empty result", id)
+		}
+	}
+	c := counters(t, ts)
+	if c["serve.worlds_built"] != 1 {
+		t.Errorf("worlds_built = %d, want 1 (reused %d)", c["serve.worlds_built"], c["serve.worlds_reused"])
+	}
+	if c["serve.campaigns_completed"] != n {
+		t.Errorf("campaigns_completed = %d, want %d", c["serve.campaigns_completed"], n)
+	}
+}
+
+// TestSessionRetentionOverload pins the 429 path: when every retained
+// session is still live, submissions are refused; once sessions finish,
+// eviction makes room again.
+func TestSessionRetentionOverload(t *testing.T) {
+	srv, ts := newTestServer(t, func(c *serverConfig) {
+		c.MaxSessions = 2
+		c.MaxCampaigns = 1
+	})
+	if err := srv.limiter.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	r1, _ := postCampaign(t, ts, submitBody(1, nil))
+	r2, _ := postCampaign(t, ts, submitBody(2, nil))
+	r1.Body.Close()
+	r2.Body.Close()
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", submitBody(3, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded submit = %s, want 429", resp.Status)
+	}
+	if code := errorCode(t, resp); code != api.CodeOverloaded {
+		t.Errorf("code = %q, want %q", code, api.CodeOverloaded)
+	}
+
+	// Release the slot; both queued campaigns finish, and the next
+	// submission evicts one of them.
+	srv.limiter.Release()
+	lr, err := http.Get(ts.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decodeJSON[api.SessionListV1](t, lr.Body)
+	lr.Body.Close()
+	for _, s := range list.Sessions {
+		waitResult(t, ts, s.ID)
+	}
+	r4, _ := postCampaign(t, ts, submitBody(1, nil))
+	r4.Body.Close()
+}
+
+// TestShutdownRefusesSubmissions pins the drain contract.
+func TestShutdownRefusesSubmissions(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	srv.Close()
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", submitBody(7, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit = %s, want 503", resp.Status)
+	}
+	if code := errorCode(t, resp); code != api.CodeShuttingDown {
+		t.Errorf("code = %q, want %q", code, api.CodeShuttingDown)
+	}
+}

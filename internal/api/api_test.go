@@ -1,0 +1,176 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/core"
+	"github.com/hobbitscan/hobbit/internal/probe"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire-format files")
+
+// golden compares got against testdata/<name>, rewriting the file under
+// -update. The golden files ARE the v1 wire contract: a diff here means a
+// client-visible format change, which the package comment's version
+// policy forbids within v1.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/api -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: wire format drifted from golden file\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// fixtureSummary is a fully-populated summary covering every v1 field,
+// including one histogram and one span, so the golden bytes exercise the
+// whole schema.
+func fixtureSummary() RunSummaryV1 {
+	return RunSummaryV1{
+		Universe:    300,
+		Eligible:    120,
+		Pings:       4096,
+		Probes:      16384,
+		Retries:     37,
+		Classes:     map[string]int{"same-last-hop": 70, "hierarchical": 30, "too-few-active": 20},
+		Homogeneous: 80,
+		Measurable:  110,
+		Aggregates:  22,
+		Clusters:    5,
+		Validated:   3,
+		Final:       18,
+		FaultPlan:   "rate-storm",
+		LowConf:     2,
+		Telemetry: telemetry.Snapshot{
+			Counters: map[string]int64{
+				"campaign.blocks_measured": 120,
+				"census.eligible_blocks":   120,
+				"probe.measure.probes":     16000,
+			},
+			Histograms: map[string]telemetry.HistogramSnapshot{
+				"campaign.probed_per_block": {
+					Bounds: []int64{8, 16, 32},
+					Counts: []int64{10, 40, 60, 10},
+					Count:  120, Sum: 3000, Min: 4, Max: 190,
+				},
+			},
+			Stages: []telemetry.SpanSnapshot{{Name: "census", DurationMS: 12.5}},
+		},
+	}
+}
+
+func TestRunSummaryV1Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeRunSummaryV1(&buf, fixtureSummary()); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "run_summary_v1.json", buf.Bytes())
+}
+
+func TestSessionV1Golden(t *testing.T) {
+	s := SessionV1{
+		ID:       "s-42",
+		State:    StateDone,
+		CacheHit: true,
+		World:    WorldSpecV1{Blocks: 300, Scale: 0.02, Seed: 7, FaultPlan: "flap", Epoch: 1},
+		Options: core.Options{
+			Workers:       4,
+			MDA:           probe.MDAOptions{Adaptive: true},
+			ValidatePairs: 20000,
+		},
+		CreatedUnixMS:  1700000000000,
+		StartedUnixMS:  1700000000100,
+		FinishedUnixMS: 1700000007500,
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "session_v1.json", buf.Bytes())
+}
+
+func TestSubmitRequestV1Golden(t *testing.T) {
+	r := SubmitRequestV1{
+		World:     WorldSpecV1{Blocks: 2000, Scale: 0.25, Seed: 0x40bb17},
+		Options:   core.Options{SkipClustering: true, MinActive: 4},
+		TimeoutMS: 60000,
+		Wait:      true,
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "submit_request_v1.json", buf.Bytes())
+}
+
+func TestProgressEventV1Golden(t *testing.T) {
+	ev := Progress(telemetry.ProgressEvent{
+		Stage:   "measure",
+		Done:    50,
+		Total:   120,
+		Classes: map[string]int{"same-last-hop": 31, "hierarchical": 19},
+		Pings:   900,
+		Probes:  4100,
+	})
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ev); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "progress_event_v1.json", buf.Bytes())
+}
+
+func TestErrorV1Golden(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, 404, CodeNotFound, "no session s-99")
+	if rec.Code != 404 {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	golden(t, "error_v1.json", rec.Body.Bytes())
+}
+
+// TestRunSummaryV1RoundTrip guards field coverage: decoding the canonical
+// encoding reproduces the value, so no field is silently dropped or
+// duplicated by tag typos.
+func TestRunSummaryV1RoundTrip(t *testing.T) {
+	want := fixtureSummary()
+	var buf bytes.Buffer
+	if err := EncodeRunSummaryV1(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	var got RunSummaryV1
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := EncodeRunSummaryV1(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Errorf("round trip not stable:\n%s\n%s", buf.Bytes(), again.Bytes())
+	}
+}

@@ -47,30 +47,15 @@ type Pipeline struct {
 	Blocks []iputil.Block24
 	// Seed drives the deterministic shuffles and samples.
 	Seed uint64
-	// Workers bounds measurement concurrency (0 = GOMAXPROCS).
-	Workers int
-	// CensusWorkers bounds the census sweep (0 = GOMAXPROCS, 1 =
-	// serial). The dataset and census counters are byte-identical for
-	// every value: workers fill per-block bitmaps into indexed slots and
-	// the merge applies them in block order.
-	CensusWorkers int
-	// ClusterWorkers bounds the post-campaign stages — similarity-graph
-	// construction, MCL expansion, and reprobe validation (0 =
-	// GOMAXPROCS, 1 = serial). Output is byte-identical for every value:
-	// the stages shard index spaces and merge results in index order.
-	ClusterWorkers int
-	// MDAOpts tunes the per-destination MDA runs.
-	MDAOpts probe.MDAOptions
+	// Options are the serializable run knobs (worker bounds, MDA tuning,
+	// eligibility threshold, validation budget, clustering switch). The
+	// embedding promotes every knob, so p.Workers and friends read and
+	// assign exactly as they did when the fields lived on Pipeline
+	// directly; construction sites spell the nested literal.
+	Options
 	// Terminator overrides the hierarchical-sufficiency rule (nil uses
 	// the MDA stopping rule; a confidence.Table reproduces Figure 4's).
 	Terminator hobbit.Terminator
-	// MinActive is the census/probe-time eligibility threshold (4).
-	MinActive int
-	// ValidatePairs bounds reprobed pairs per cluster (the paper uses
-	// 20,000; 0 means all pairs).
-	ValidatePairs int
-	// SkipClustering stops after identical-set aggregation.
-	SkipClustering bool
 	// Telemetry records per-stage spans, counters, and histograms for
 	// the run; nil disables observation. Counter state is deterministic
 	// for a fixed Seed (see telemetry.Registry.MarshalCounters).
@@ -121,7 +106,7 @@ func (p *Pipeline) minActive() int {
 func (p *Pipeline) newMeasurer(exhaustive bool) *hobbit.Measurer {
 	return &hobbit.Measurer{
 		Net:        p.Net,
-		Opts:       p.MDAOpts,
+		Opts:       p.MDA,
 		Term:       p.Terminator,
 		MinActive:  p.minActive(),
 		Seed:       p.Seed,
@@ -147,6 +132,9 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 	}
 	if len(p.Blocks) == 0 {
 		return nil, errors.New("core: no blocks to measure")
+	}
+	if err := p.Options.Validate(); err != nil {
+		return nil, err
 	}
 	reg := p.Telemetry
 	out := &Output{}

@@ -338,7 +338,7 @@ func TestPipelineLowConfidenceExclusion(t *testing.T) {
 			Scanner:   net,
 			Blocks:    []iputil.Block24{clean, faulted},
 			Seed:      7,
-			MDAOpts:   probe.MDAOptions{Adaptive: true, AdaptiveBudget: budget},
+			Options:   Options{MDA: probe.MDAOptions{Adaptive: true, AdaptiveBudget: budget}},
 			Telemetry: reg,
 		}
 		out, err := p.Run(context.Background())

@@ -103,11 +103,11 @@ func (l *Lab) Pipeline() (*core.Output, error) {
 		return l.out, nil
 	}
 	p := &core.Pipeline{
-		Net:           l.Net,
-		Scanner:       l.World,
-		Blocks:        l.World.Blocks(),
-		Seed:          l.Seed,
-		ValidatePairs: 2000,
+		Net:     l.Net,
+		Scanner: l.World,
+		Blocks:  l.World.Blocks(),
+		Seed:    l.Seed,
+		Options: core.Options{ValidatePairs: 2000},
 	}
 	out, err := p.Run(context.Background())
 	if err != nil {

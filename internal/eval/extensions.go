@@ -35,11 +35,11 @@ func runLongitudinal(l *Lab) (*Report, error) {
 	for e := 0; e < epochs; e++ {
 		l.World.SetEpoch(e)
 		p := &core.Pipeline{
-			Net:            l.Net,
-			Scanner:        l.World,
-			Blocks:         blocks,
-			Seed:           l.Seed + uint64(e),
-			SkipClustering: true,
+			Net:     l.Net,
+			Scanner: l.World,
+			Blocks:  blocks,
+			Seed:    l.Seed + uint64(e),
+			Options: core.Options{SkipClustering: true},
 		}
 		out, err := p.Run(context.Background())
 		if err != nil {

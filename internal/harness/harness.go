@@ -133,14 +133,16 @@ func Run(sc Scenario, opt Options) (*Report, *core.Output, error) {
 	w.SetEpoch(opt.Epoch)
 
 	p := &core.Pipeline{
-		Net:            probe.NewSimNetwork(w),
-		Scanner:        w,
-		Blocks:         w.Blocks(),
-		Seed:           opt.Seed,
-		Workers:        opt.Workers,
-		CensusWorkers:  opt.CensusWorkers,
-		ClusterWorkers: opt.ClusterWorkers,
-		MDAOpts:        probe.MDAOptions{Adaptive: true},
+		Net:     probe.NewSimNetwork(w),
+		Scanner: w,
+		Blocks:  w.Blocks(),
+		Seed:    opt.Seed,
+		Options: core.Options{
+			Workers:        opt.Workers,
+			CensusWorkers:  opt.CensusWorkers,
+			ClusterWorkers: opt.ClusterWorkers,
+			MDA:            probe.MDAOptions{Adaptive: true},
+		},
 	}
 	out, err := p.Run(context.Background())
 	if err != nil {

@@ -5,32 +5,72 @@ import (
 	"github.com/hobbitscan/hobbit/internal/trace"
 )
 
-// MDAOptions configures a multipath-detection run.
+// MDAOptions configures a multipath-detection run. The struct is part of
+// the serializable request schema (core.Options embeds it into campaign
+// submissions), so every field carries a stable snake_case JSON name.
 type MDAOptions struct {
 	// FirstTTL is the TTL of the first probed hop (1 = full traceroute).
-	FirstTTL int
+	FirstTTL int `json:"first_ttl"`
 	// MaxTTL bounds the probed path length.
-	MaxTTL int
+	MaxTTL int `json:"max_ttl"`
 	// Confidence is the per-hop enumeration confidence (default 0.95).
-	Confidence float64
+	Confidence float64 `json:"confidence"`
 	// MaxFlows caps the number of distinct flow identifiers used per
 	// hop, bounding the probing cost at wide load-balancers.
-	MaxFlows int
+	MaxFlows int `json:"max_flows"`
 	// Retries is how many extra probes to send when one goes
 	// unanswered, before recording an unresponsive hop. Zero uses the
 	// default (2); pass a negative value for single-shot probing.
-	Retries int
+	Retries int `json:"retries"`
 	// Adaptive enables fault-adaptive escalation: once a probing window
 	// looks faulted (degradedStreak consecutive windows lost even after
 	// the normal retries), later windows get extra retransmissions,
 	// paid from a capped budget. Disabled by default; runs with it off
 	// behave bit-identically to runs before the option existed.
-	Adaptive bool
+	Adaptive bool `json:"adaptive"`
 	// AdaptiveBudget caps the total escalated retransmissions one MDA
 	// run may spend after it turns degraded. Zero uses the default
 	// (32); pass a negative value for no escalation headroom (windows
 	// are still marked degraded, and exhaustion reports immediately).
-	AdaptiveBudget int
+	AdaptiveBudget int `json:"adaptive_budget"`
+}
+
+// Canonical maps every MDAOptions value onto one representative per
+// behaviour class: zero fields become the explicit defaults withDefaults
+// would apply, and the negative sentinels (Retries, AdaptiveBudget)
+// collapse to -1. Two option values with equal Canonical() forms produce
+// bit-identical measurements over the same surface, which is what lets a
+// result cache key on the canonical form. Unlike withDefaults, Canonical
+// is idempotent and preserves the sentinel/zero distinction.
+func (o MDAOptions) Canonical() MDAOptions {
+	if o.FirstTTL <= 0 {
+		o.FirstTTL = 1
+	}
+	if o.MaxTTL <= 0 {
+		o.MaxTTL = 32
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
+	}
+	if o.MaxFlows <= 0 {
+		o.MaxFlows = 64
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	} else if o.Retries < 0 {
+		o.Retries = -1
+	}
+	switch {
+	case !o.Adaptive:
+		// The budget is consulted only by adaptive runs; folding it away
+		// here widens cache hits without changing behaviour.
+		o.AdaptiveBudget = 0
+	case o.AdaptiveBudget == 0:
+		o.AdaptiveBudget = 32
+	case o.AdaptiveBudget < 0:
+		o.AdaptiveBudget = -1
+	}
+	return o
 }
 
 // withDefaults fills zero fields with the paper's operating parameters.
