@@ -1,10 +1,16 @@
 // Command hobbitlint runs the repo's static-analysis suite (internal/lint)
-// over the given package patterns and reports every violated determinism
-// or concurrency invariant as "file:line: [analyzer] message".
+// over the given package patterns and reports every violated determinism,
+// concurrency, or wire-format invariant as "file:line: [analyzer] message".
 //
 // Usage:
 //
-//	hobbitlint [patterns...]       (default ./...)
+//	hobbitlint [flags] [patterns...]       (default ./...)
+//
+//	-fix            apply suggested fixes (gofmt-clean), then report
+//	                what remains
+//	-format=github  emit GitHub Actions annotations instead of plain text
+//	-write-compat   regenerate compat.lock for packages with versioned
+//	                wire structs (the api-compat freeze; see DESIGN.md §4c)
 //
 // Patterns are directories relative to the module root; a trailing /...
 // walks subdirectories (skipping testdata, like the go tool). Naming a
@@ -15,19 +21,31 @@
 //
 // Exit status: 0 clean, 1 findings reported, 2 operational failure.
 // Findings are suppressed in place with //lint:ignore <analyzer> <reason>
-// (see internal/lint's package documentation).
+// (see internal/lint's package documentation); a directive that
+// suppresses nothing is itself a finding.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"github.com/hobbitscan/hobbit/internal/lint"
 )
 
 func main() {
-	patterns := os.Args[1:]
+	fix := flag.Bool("fix", false, "apply suggested fixes in place (result is gofmt-formatted)")
+	format := flag.String("format", "text", "output format: text or github (GitHub Actions annotations)")
+	writeCompat := flag.Bool("write-compat", false, "regenerate compat.lock for packages declaring versioned wire structs")
+	flag.Parse()
+	if *format != "text" && *format != "github" {
+		fatal(fmt.Errorf("unknown -format %q (want text or github)", *format))
+	}
+
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -48,13 +66,97 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hobbitlint: %s: type error: %v\n", p.Path, terr)
 		}
 	}
+
+	if *writeCompat {
+		if err := writeCompatLocks(loader, pkgs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	diags := lint.Run(loader, pkgs, lint.Suite())
+
+	if *fix {
+		diags, err = applyFixes(loader, pkgs, diags)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	for _, d := range diags {
-		fmt.Println(relativize(cwd, d))
+		switch *format {
+		case "github":
+			fmt.Println(githubAnnotation(cwd, d))
+		default:
+			fmt.Println(relativize(cwd, d))
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// applyFixes writes every suggested fix to disk and re-runs the suite so
+// the caller sees only what still stands (a fix may also have unblocked
+// or invalidated other findings' positions).
+func applyFixes(loader *lint.Loader, pkgs []*lint.Package, diags []lint.Diagnostic) ([]lint.Diagnostic, error) {
+	if lint.FixableCount(diags) == 0 {
+		return diags, nil
+	}
+	fixed, err := lint.ApplyFixes(loader.Fset, diags)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]string, 0, len(fixed))
+	for file := range fixed {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		if err := os.WriteFile(file, fixed[file], 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "hobbitlint: fixed %s\n", file)
+	}
+	// Reload from the rewritten sources: positions in the old diags no
+	// longer line up with the files on disk.
+	fresh, err := lint.NewLoader(loader.ModuleRoot)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, p := range pkgs {
+		dirs = append(dirs, p.Dir)
+	}
+	repkgs, err := fresh.Load(dirs...)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run(fresh, repkgs, lint.Suite()), nil
+}
+
+// writeCompatLocks regenerates the api-compat freeze file for every
+// loaded package that declares versioned wire structs (or already has a
+// lock, which an emptied package clears by deleting the file by hand —
+// silent deletion would defeat the freeze).
+func writeCompatLocks(loader *lint.Loader, pkgs []*lint.Package) error {
+	wrote := 0
+	for _, pkg := range pkgs {
+		content := lint.CompatLock(loader.PassFor(pkg))
+		if content == "" {
+			continue
+		}
+		path := filepath.Join(pkg.Dir, lint.CompatLockFile)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hobbitlint: wrote %s\n", path)
+		wrote++
+	}
+	if wrote == 0 {
+		return fmt.Errorf("no loaded package declares versioned wire structs; nothing to freeze")
+	}
+	return nil
 }
 
 // relativize renders the diagnostic with a cwd-relative path so output is
@@ -64,6 +166,30 @@ func relativize(cwd string, d lint.Diagnostic) string {
 		d.Pos.Filename = rel
 	}
 	return d.String()
+}
+
+// githubAnnotation renders one finding in GitHub Actions workflow-command
+// syntax, so a CI lint job surfaces findings as inline PR annotations.
+func githubAnnotation(cwd string, d lint.Diagnostic) string {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
+		file = rel
+	}
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=hobbitlint %s::%s",
+		ghEscapeProp(file), d.Pos.Line, d.Pos.Column,
+		ghEscapeProp(d.Analyzer), ghEscapeData("["+d.Analyzer+"] "+d.Message))
+}
+
+// ghEscapeData escapes a workflow-command message payload.
+func ghEscapeData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+// ghEscapeProp escapes a workflow-command property value.
+func ghEscapeProp(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
 }
 
 func fatal(err error) {

@@ -1,0 +1,33 @@
+package api_test
+
+import (
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/lint"
+)
+
+// TestAPICompatLock re-renders the exported V<n> wire shape of this
+// package and diffs it against the checked-in compat.lock through the
+// api-compat analyzer. Deleting a field from RunSummaryV1, retyping
+// one, or editing a JSON tag fails this test — the freeze gates plain
+// `go test`, not only the hobbitlint sweep. Deliberate additive v1
+// extensions regenerate the lock:
+//
+//	go run ./cmd/hobbitlint -write-compat ./internal/api
+func TestAPICompatLock(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("internal/api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	diags := lint.Run(loader, pkgs, []*lint.Analyzer{lint.AnalyzerAPICompat})
+	for _, d := range diags {
+		t.Errorf("%s", d.String())
+	}
+}

@@ -109,6 +109,11 @@ func (l *Lab) Pipeline() (*core.Output, error) {
 		Seed:    l.Seed,
 		Options: core.Options{ValidatePairs: 2000},
 	}
+	// The lock deliberately serializes the one expensive pipeline run:
+	// concurrent experiments sharing a Lab must see a single memoized
+	// output, and the double-check pattern would instead run the
+	// campaign once per racer.
+	//lint:ignore lock-discipline memoization lock intentionally covers the single pipeline run
 	out, err := p.Run(context.Background())
 	if err != nil {
 		return nil, err

@@ -30,7 +30,8 @@ var AnalyzerCtxLoop = &Analyzer{
 // work per iteration.
 var blockingCallRE = regexp.MustCompile(`^(Measure|Probe|Ping|Scan|Reprobe|Exchange|Dial|Accept|Acquire|Wait|Sleep|Recv|Receive|Read|Write|Flush|Run|Do|Process|Handle)`)
 
-func runCtxLoop(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+func runCtxLoop(p *Pass) {
+	report := p.Reportf
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)

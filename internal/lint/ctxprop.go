@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCtxPropagation keeps the cancellation chain unbroken: a
+// function that already has a context — a context.Context parameter, or
+// an *http.Request whose Context() carries the client's lifetime — must
+// thread it into every call that accepts one. Passing
+// context.Background(), context.TODO(), or nil instead silently detaches
+// the callee from the caller's deadline and cancellation: exactly the
+// hobbitd regression class where a handler's pipeline run survives the
+// client disconnect it was supposed to die with. PR 1 made the pipeline
+// context-aware and PR 6 tied synchronous campaigns to r.Context(); this
+// analyzer keeps new call sites honest. Each finding carries a suggested
+// fix substituting the in-scope context, applied by hobbitlint -fix.
+var AnalyzerCtxPropagation = &Analyzer{
+	Name: "ctx-propagation",
+	Doc: "in functions that have a context.Context parameter (or an " +
+		"*http.Request), flag context.Background(), context.TODO(), and " +
+		"nil passed to a callee that accepts a context.Context; the " +
+		"in-scope context must flow through so cancellation and deadlines " +
+		"keep propagating",
+	Run: runCtxPropagation,
+}
+
+func runCtxPropagation(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			src := contextSource(p, fd)
+			if src == "" {
+				continue
+			}
+			checkCtxArgs(p, f, fd.Body, src)
+		}
+	}
+}
+
+// contextSource returns the expression that yields the function's
+// context — the first context.Context parameter's name, or
+// "<req>.Context()" for an *http.Request parameter — or "" when the
+// function has no context of its own.
+func contextSource(p *Pass, fd *ast.FuncDecl) string {
+	if fd.Type.Params == nil {
+		return ""
+	}
+	reqName := ""
+	for _, field := range fd.Type.Params.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isContextType(t) {
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					return name.Name
+				}
+			}
+		}
+		if reqName == "" && isHTTPRequestPtr(t) {
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					reqName = name.Name
+				}
+			}
+		}
+	}
+	if reqName != "" {
+		return reqName + ".Context()"
+	}
+	return ""
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
+
+// checkCtxArgs walks the body (closures included — they capture the same
+// context) and screens every call's context-typed argument slots.
+func checkCtxArgs(p *Pass, f *ast.File, body ast.Node, src string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig := calleeSignature(p, call)
+		if sig == nil {
+			return true
+		}
+		for i, arg := range call.Args {
+			if i >= sig.Params().Len() && !sig.Variadic() {
+				break
+			}
+			idx := i
+			if idx >= sig.Params().Len() {
+				idx = sig.Params().Len() - 1
+			}
+			if !isContextType(sig.Params().At(idx).Type()) {
+				continue
+			}
+			if detached := detachedCtx(p, f, arg); detached != "" {
+				p.Report(Finding{
+					Pos: arg.Pos(),
+					Message: "call discards the in-scope context by passing " + detached +
+						"; thread " + src + " (or a context derived from it) so cancellation " +
+						"and deadlines propagate, or justify with //lint:ignore ctx-propagation <reason>",
+					Fixes: []SuggestedFix{{
+						Message: "pass " + src,
+						Edits:   []TextEdit{{Pos: arg.Pos(), End: arg.End(), NewText: src}},
+					}},
+				})
+			}
+		}
+		return true
+	})
+}
+
+// detachedCtx classifies an argument expression that severs the context
+// chain: a fresh context.Background()/context.TODO() or a nil literal.
+// Anything else — the ctx itself, a derived WithTimeout/WithCancel, a
+// stored field — is accepted.
+func detachedCtx(p *Pass, f *ast.File, arg ast.Expr) string {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.CallExpr:
+		if pkg, fn := p.PkgFuncCall(f, x); pkg == "context" && (fn == "Background" || fn == "TODO") {
+			return "context." + fn + "()"
+		}
+	case *ast.Ident:
+		if x.Name == "nil" {
+			if obj := p.ObjectOf(x); obj == nil || obj.Pkg() == nil {
+				return "a nil context"
+			}
+		}
+	}
+	return ""
+}

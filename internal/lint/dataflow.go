@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the suite's lightweight intra-procedural dataflow layer:
+// CFG-free def-use over the AST, resolved through go/types. It gives the
+// concurrency analyzers what pure syntax cannot — object identity (the
+// WaitGroup that is Add-ed must be the one that is Wait-ed), receiver
+// types (a Lock on a sync.Mutex, not on anything named Lock), and callee
+// signatures (which argument slot of a call is a context.Context).
+// Statements are visited in source order; control flow is approximated
+// linearly, which under-reports branchy code rather than inventing
+// findings.
+
+// funcInfo is one analyzed function: a declaration or a literal, with its
+// innermost enclosing function (nil for declarations).
+type funcInfo struct {
+	node   ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body   *ast.BlockStmt
+	parent *funcInfo
+}
+
+// methodUse is one resolved receiver-method call: wg.Done(),
+// s.mu.Lock(), ... The receiver base is the types.Object of the deepest
+// identifier or field in the receiver chain, giving a stable identity for
+// both locals (wg) and fields (s.wg — the field object).
+type methodUse struct {
+	obj  types.Object
+	name string
+	call *ast.CallExpr
+	fn   *funcInfo // innermost enclosing function
+}
+
+// dataFacts is the per-package def-use index, built once per pass and
+// shared by every dataflow analyzer.
+type dataFacts struct {
+	funcs []*funcInfo
+	// methodUses lists every resolved receiver-method call in p.Files, in
+	// source order.
+	methodUses []methodUse
+	// usesByObj groups them by receiver identity.
+	usesByObj map[types.Object][]methodUse
+}
+
+// Facts builds (or returns) the dataflow index for the pass.
+func (p *Pass) Facts() *dataFacts {
+	if p.facts != nil {
+		return p.facts
+	}
+	df := &dataFacts{usesByObj: map[types.Object][]methodUse{}}
+	for _, f := range p.Files {
+		walkFuncs(f, nil, &df.funcs)
+	}
+	for _, fi := range df.funcs {
+		collectMethodUses(p, fi, df)
+	}
+	p.facts = df
+	return df
+}
+
+// walkFuncs collects every function declaration and literal under n with
+// parent links, in source order.
+func walkFuncs(n ast.Node, parent *funcInfo, out *[]*funcInfo) {
+	switch x := n.(type) {
+	case *ast.File:
+		for _, d := range x.Decls {
+			walkFuncs(d, parent, out)
+		}
+		return
+	case *ast.FuncDecl:
+		fi := &funcInfo{node: x, body: x.Body, parent: parent}
+		*out = append(*out, fi)
+		if x.Body != nil {
+			walkChildren(x.Body, fi, out)
+		}
+		return
+	case *ast.FuncLit:
+		fi := &funcInfo{node: x, body: x.Body, parent: parent}
+		*out = append(*out, fi)
+		if x.Body != nil {
+			walkChildren(x.Body, fi, out)
+		}
+		return
+	}
+	walkChildren(n, parent, out)
+}
+
+// walkChildren recurses into n's children looking for nested functions.
+func walkChildren(n ast.Node, parent *funcInfo, out *[]*funcInfo) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return true
+		}
+		switch x := c.(type) {
+		case *ast.FuncLit:
+			fi := &funcInfo{node: x, body: x.Body, parent: parent}
+			*out = append(*out, fi)
+			if x.Body != nil {
+				walkChildren(x.Body, fi, out)
+			}
+			return false
+		case *ast.FuncDecl: // cannot nest, but be safe
+			walkFuncs(x, parent, out)
+			return false
+		}
+		return true
+	})
+}
+
+// collectMethodUses records every receiver-method call whose receiver
+// base resolves, attributed to its innermost enclosing function.
+func collectMethodUses(p *Pass, fi *funcInfo, df *dataFacts) {
+	if fi.body == nil {
+		return
+	}
+	ast.Inspect(fi.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != fi.node {
+			return false // owned by the nested funcInfo
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := receiverBase(p, sel.X)
+		if obj == nil {
+			return true
+		}
+		use := methodUse{obj: obj, name: sel.Sel.Name, call: call, fn: fi}
+		df.methodUses = append(df.methodUses, use)
+		df.usesByObj[obj] = append(df.usesByObj[obj], use)
+		return true
+	})
+}
+
+// receiverBase resolves a receiver expression to a stable object
+// identity: the variable for `wg`, the field object for `s.wg` (shared by
+// every instance of the struct — close enough for package-level
+// "somebody joins this" evidence), through parens, derefs, and
+// addresses.
+func receiverBase(p *Pass, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return p.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return p.ObjectOf(x.Sel)
+	case *ast.StarExpr:
+		return receiverBase(p, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return receiverBase(p, x.X)
+		}
+	case *ast.IndexExpr:
+		return receiverBase(p, x.X)
+	}
+	return nil
+}
+
+// enclosing returns the innermost funcInfo whose body contains pos.
+func (df *dataFacts) enclosing(pos token.Pos) *funcInfo {
+	var best *funcInfo
+	for _, fi := range df.funcs {
+		if fi.body != nil && fi.body.Pos() <= pos && pos < fi.body.End() {
+			if best == nil || (fi.body.Pos() >= best.body.Pos() && fi.body.End() <= best.body.End()) {
+				best = fi
+			}
+		}
+	}
+	return best
+}
+
+// usesIn returns fi's own method calls named name on obj (nested
+// functions excluded — they have their own entries).
+func (df *dataFacts) usesIn(fi *funcInfo, obj types.Object, name string) []methodUse {
+	var out []methodUse
+	for _, u := range df.usesByObj[obj] {
+		if u.fn == fi && u.name == name {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// anyUse reports whether any function in the package calls name on obj.
+func (df *dataFacts) anyUse(obj types.Object, name string) bool {
+	for _, u := range df.usesByObj[obj] {
+		if u.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Type tests ----------------------------------------------------------
+
+// isSyncType reports whether t (after pointer unwrap) is sync.<name>.
+func isSyncType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}
+
+func isWaitGroup(t types.Type) bool { return isSyncType(t, "WaitGroup") }
+
+func isMutexType(t types.Type) bool {
+	return isSyncType(t, "Mutex") || isSyncType(t, "RWMutex")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// calleeSignature resolves the called function's signature, or nil.
+func calleeSignature(p *Pass, call *ast.CallExpr) *types.Signature {
+	t := p.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig
+}
+
+// walkLinear visits the statements of body in source order, recursing
+// into nested blocks (if/else, for, switch, select cases) but not into
+// function literals; fn sees every statement exactly once. This is the
+// CFG-free spine the lock tracker rides: later statements are treated as
+// sequentially after earlier ones, branches as straight-line code.
+func walkLinear(body *ast.BlockStmt, fn func(ast.Stmt)) {
+	if body == nil {
+		return
+	}
+	for _, st := range body.List {
+		walkLinearStmt(st, fn)
+	}
+}
+
+func walkLinearStmt(st ast.Stmt, fn func(ast.Stmt)) {
+	fn(st)
+	switch x := st.(type) {
+	case *ast.BlockStmt:
+		walkLinear(x, fn)
+	case *ast.IfStmt:
+		walkLinear(x.Body, fn)
+		if x.Else != nil {
+			walkLinearStmt(x.Else, fn)
+		}
+	case *ast.ForStmt:
+		walkLinear(x.Body, fn)
+	case *ast.RangeStmt:
+		walkLinear(x.Body, fn)
+	case *ast.SwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, s := range cc.Body {
+					walkLinearStmt(s, fn)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, s := range cc.Body {
+					walkLinearStmt(s, fn)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				for _, s := range cc.Body {
+					walkLinearStmt(s, fn)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		walkLinearStmt(x.Stmt, fn)
+	}
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix carried by diags to the source
+// files and returns the new, gofmt-formatted content per file path.
+// Overlapping edits within one file are resolved first-wins (later,
+// conflicting fixes are dropped — rerunning the linter offers them
+// again on clean positions). Files are not written; the caller decides
+// (cmd/hobbitlint -fix writes, tests compare).
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, error) {
+	type edit struct {
+		off, end int
+		newText  string
+	}
+	byFile := map[string][]edit{}
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				if !e.Pos.IsValid() || !e.End.IsValid() || e.End < e.Pos {
+					return nil, fmt.Errorf("lint: invalid edit range in fix %q", fix.Message)
+				}
+				pos := fset.Position(e.Pos)
+				end := fset.Position(e.End)
+				if pos.Filename != end.Filename {
+					return nil, fmt.Errorf("lint: fix %q spans files", fix.Message)
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], edit{off: pos.Offset, end: end.Offset, newText: e.NewText})
+			}
+		}
+	}
+	out := map[string][]byte{}
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].off != edits[j].off {
+				return edits[i].off < edits[j].off
+			}
+			return edits[i].end < edits[j].end
+		})
+		var buf []byte
+		last := 0
+		for _, e := range edits {
+			if e.off < last {
+				continue // overlaps an already-applied edit: first wins
+			}
+			if e.end > len(src) {
+				return nil, fmt.Errorf("lint: edit past end of %s", file)
+			}
+			buf = append(buf, src[last:e.off]...)
+			buf = append(buf, e.newText...)
+			last = e.end
+		}
+		buf = append(buf, src[last:]...)
+		formatted, err := format.Source(buf)
+		if err != nil {
+			// A fix must never produce unparsable code; surface it
+			// loudly rather than writing a broken file.
+			return nil, fmt.Errorf("lint: fixes for %s produce invalid Go: %v", file, err)
+		}
+		out[file] = formatted
+	}
+	return out, nil
+}
+
+// FixableCount reports how many diagnostics carry at least one fix.
+func FixableCount(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if len(d.Fixes) > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerGoroutineLeak flags `go` statements whose goroutine neither
+// reaches a join nor is cancellable. It generalizes the earlier
+// syntactic bare-go rule with def-use facts: the WaitGroup a goroutine
+// defers Done() on must actually be Wait-ed somewhere in the package
+// (same object, not just any call named Wait), a launcher sanctioning a
+// named worker must Add and Wait on the same WaitGroup, and a launch
+// that threads a context.Context into the goroutine is accepted as
+// ctx-cancellable (ctx-loop and ctx-propagation police the body). A
+// goroutine outside every pattern has unbounded lifetime — it can
+// outlive the pipeline run, keep writing telemetry after a snapshot, or
+// leak under test — so it must adopt one or carry an explicit
+// //lint:ignore goroutine-leak justification.
+var AnalyzerGoroutineLeak = &Analyzer{
+	Name: "goroutine-leak",
+	Doc: "flag go statements whose goroutine is neither joined (defer " +
+		"wg.Done() on a WaitGroup some function Waits on, the goroutine " +
+		"owns wg.Wait(), or the launcher Adds and Waits on the same " +
+		"WaitGroup) nor ctx-cancellable (a context.Context flows into the " +
+		"launch); unjoined, uncancellable goroutines have unbounded lifetime",
+	Run: runGoroutineLeak,
+}
+
+func runGoroutineLeak(p *Pass) {
+	df := p.Facts()
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if why := goLeakVerdict(p, df, g); why != "" {
+				p.Reportf(g.Pos(), "goroutine is neither joined nor ctx-cancellable (%s); "+
+					"defer wg.Done() on a Waited WaitGroup, own wg.Wait(), launch from a "+
+					"function that Adds and Waits on the same WaitGroup, thread a "+
+					"context.Context into it, or justify with //lint:ignore goroutine-leak <reason>", why)
+			}
+			return true
+		})
+	}
+}
+
+// goLeakVerdict returns "" when the launch is sanctioned, else a short
+// reason fragment for the report.
+func goLeakVerdict(p *Pass, df *dataFacts, g *ast.GoStmt) string {
+	// Ctx-cancellable launch: a context.Context value flows into the
+	// goroutine as a call argument.
+	for _, arg := range g.Call.Args {
+		if isContextType(p.TypeOf(arg)) {
+			return ""
+		}
+	}
+	launcher := df.enclosing(g.Pos())
+
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		var body *funcInfo
+		for _, fi := range df.funcs {
+			if fi.node == lit {
+				body = fi
+				break
+			}
+		}
+		if body != nil {
+			switch verdictForBody(p, df, body) {
+			case sanctioned:
+				return ""
+			case doneNeverWaited:
+				return "it defers Done() on a WaitGroup nothing in this package Waits on"
+			}
+		}
+	}
+	// Launcher-owns-the-join, refined: Add and Wait on the *same*
+	// WaitGroup object in the launching function's own body.
+	if launcher != nil && launcherJoins(p, df, launcher) {
+		return ""
+	}
+	return "no join or context reaches it"
+}
+
+type bodyVerdict int
+
+const (
+	unsanctioned bodyVerdict = iota
+	sanctioned
+	doneNeverWaited
+)
+
+// verdictForBody inspects a goroutine literal's body (including its
+// nested closures and defers) for join or cancellation evidence.
+func verdictForBody(p *Pass, df *dataFacts, body *funcInfo) bodyVerdict {
+	verdict := unsanctioned
+	ast.Inspect(body.body, func(n ast.Node) bool {
+		if verdict == sanctioned {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := receiverBase(p, sel.X)
+			switch sel.Sel.Name {
+			case "Done":
+				if obj != nil && isWaitGroup(objType(obj)) {
+					if df.anyUse(obj, "Wait") {
+						verdict = sanctioned
+					} else if verdict == unsanctioned {
+						verdict = doneNeverWaited
+					}
+				} else if obj != nil && isContextType(objType(obj)) {
+					// <-ctx.Done() style cancellation check.
+					verdict = sanctioned
+				} else if obj == nil && p.Info == nil {
+					// No type info (shouldn't happen for p.Files): fall
+					// back to the old syntactic acceptance.
+					verdict = sanctioned
+				}
+			case "Err":
+				if obj != nil && isContextType(objType(obj)) {
+					verdict = sanctioned
+				}
+			case "Wait":
+				if obj == nil || isWaitGroup(objType(obj)) {
+					// The goroutine owns the pool shutdown (dispatcher
+					// shape: defer func(){ close(in); wg.Wait(); ... }).
+					verdict = sanctioned
+				}
+			}
+		case *ast.Ident:
+			// Any use of a captured context.Context (select on
+			// ctx.Done(), passing ctx onward) marks the body cancellable.
+			if obj := p.ObjectOf(x); obj != nil && isContextType(objType(obj)) {
+				verdict = sanctioned
+			}
+		}
+		return verdict != sanctioned
+	})
+	return verdict
+}
+
+// launcherJoins reports whether fi's own body calls Add and Wait on the
+// same WaitGroup object — the parallel.Pool.ForEach shape that makes a
+// named worker's lifetime visible at the launch site.
+func launcherJoins(p *Pass, df *dataFacts, fi *funcInfo) bool {
+	for _, u := range df.methodUses {
+		if u.fn != fi || u.name != "Add" {
+			continue
+		}
+		if !isWaitGroup(objType(u.obj)) && p.Info != nil {
+			continue
+		}
+		if len(df.usesIn(fi, u.obj, "Wait")) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// objType returns the object's type, or nil.
+func objType(obj types.Object) types.Type {
+	if obj == nil {
+		return nil
+	}
+	return obj.Type()
+}

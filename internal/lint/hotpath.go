@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 )
@@ -30,7 +29,8 @@ var AnalyzerHotpathAlloc = &Analyzer{
 // the probe hot path.
 const hotpathDirective = "//hobbit:hotpath"
 
-func runHotpathAlloc(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+func runHotpathAlloc(p *Pass) {
+	report := p.Reportf
 	// Hot paths are product code; test files cannot opt in.
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {

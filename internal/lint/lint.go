@@ -2,9 +2,16 @@
 // on the standard library's go/parser, go/ast, and go/types (the repo's
 // zero-dependency rule keeps golang.org/x/tools out). Its analyzers
 // machine-check the invariants the reproduction depends on — same-seed
-// runs must stay byte-identical — so regressions like global math/rand
-// state, output fed from unsorted map iteration, or wall-clock reads in
-// algorithm paths fail the tier-1 gate instead of waiting for review.
+// runs must stay byte-identical, goroutines must be joined or
+// cancellable, locks must never be held across blocking work, and the
+// versioned wire format must stay frozen — so regressions fail the
+// tier-1 gate instead of waiting for review.
+//
+// Beyond the original per-statement pattern matchers, the suite carries a
+// lightweight intra-procedural dataflow layer (dataflow.go): CFG-free
+// def-use over the AST, resolved through go/types, giving analyzers
+// object identity ("is this the same WaitGroup that is Waited on?"),
+// linear lock-held tracking, and callee signatures.
 //
 // A finding can be silenced in place with a directive comment on, or
 // immediately above, the offending line:
@@ -16,6 +23,11 @@
 //	//lint:file-ignore <analyzer-name> <reason>
 //
 // The reason is mandatory; a directive without one is itself reported.
+// Standalone directives stack: a comment group made of several directive
+// lines covers the statement after the group, so one line can be excused
+// from more than one analyzer. A directive that suppresses nothing is
+// itself reported (stale-suppression), keeping the sweep honest as
+// analyzers evolve.
 package lint
 
 import (
@@ -28,11 +40,35 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding, rendered as "file:line: [name] message".
+// TextEdit is one replacement of a source range.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// SuggestedFix is a mechanically safe rewrite that resolves a finding;
+// cmd/hobbitlint -fix applies them and gofmts the result.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// Finding is what an analyzer reports: a position, a message, and any
+// suggested fixes. Pass.Reportf covers the common fix-less case.
+type Finding struct {
+	Pos     token.Pos
+	Message string
+	Fixes   []SuggestedFix
+}
+
+// Diagnostic is one surviving finding, rendered as
+// "file:line: [name] message".
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -44,15 +80,18 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description DESIGN.md mirrors.
 	Doc string
-	// Run inspects the package and reports findings.
-	Run func(p *Pass, report func(pos token.Pos, format string, args ...any))
+	// Run inspects the package and reports findings through
+	// Pass.Report/Pass.Reportf.
+	Run func(p *Pass)
 }
 
 // Pass hands one loaded package to an analyzer.
 type Pass struct {
 	Fset *token.FileSet
-	// Path is the package import path; ModulePath the enclosing module.
+	// Path is the package import path; Dir its directory; ModulePath the
+	// enclosing module.
 	Path       string
+	Dir        string
 	ModulePath string
 	// Files are type-checked non-test files; TestFiles are parsed-only
 	// _test.go files (Info does not cover them).
@@ -60,6 +99,21 @@ type Pass struct {
 	TestFiles []*ast.File
 	Pkg       *types.Package
 	Info      *types.Info
+
+	// analyzer and report are wired by the driver before each Run.
+	analyzer string
+	report   func(Finding)
+	// facts is the lazily built dataflow index shared by the analyzers of
+	// one pass (see dataflow.go).
+	facts *dataFacts
+}
+
+// Report emits a finding for the currently running analyzer.
+func (p *Pass) Report(f Finding) { p.report(f) }
+
+// Reportf emits a fix-less finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
 // TypeOf returns the type of an expression, or nil when unknown (test
@@ -129,19 +183,25 @@ func Suite() []*Analyzer {
 		AnalyzerCtxLoop,
 		AnalyzerTelemetryNames,
 		AnalyzerMutexCopy,
-		AnalyzerBareGo,
+		AnalyzerGoroutineLeak,
 		AnalyzerHotpathAlloc,
+		AnalyzerLockDiscipline,
+		AnalyzerCtxPropagation,
+		AnalyzerAPICompat,
 	}
 }
 
 // Run executes the analyzers over the packages and returns the surviving
-// diagnostics (suppressions applied), sorted by position.
+// diagnostics (suppressions applied, stale directives reported), sorted
+// by (file, line, column, analyzer, message) so multi-analyzer runs are
+// byte-stable for CI diffing.
 func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		pass := &Pass{
 			Fset:       l.Fset,
 			Path:       pkg.Path,
+			Dir:        pkg.Dir,
 			ModulePath: l.ModulePath,
 			Files:      pkg.Files,
 			TestFiles:  pkg.TestFiles,
@@ -151,21 +211,32 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		sup := newSuppressions(l.Fset, append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...))
 		diags = append(diags, sup.malformed...)
 		for _, a := range analyzers {
-			a := a
-			report := func(pos token.Pos, format string, args ...any) {
-				position := l.Fset.Position(pos)
-				if sup.suppressed(a.Name, position) {
+			pass.analyzer = a.Name
+			pass.report = func(f Finding) {
+				position := l.Fset.Position(f.Pos)
+				if sup.suppressed(pass.analyzer, position) {
 					return
 				}
 				diags = append(diags, Diagnostic{
 					Pos:      position,
-					Analyzer: a.Name,
-					Message:  fmt.Sprintf(format, args...),
+					Analyzer: pass.analyzer,
+					Message:  f.Message,
+					Fixes:    f.Fixes,
 				})
 			}
-			a.Run(pass, report)
+			a.Run(pass)
 		}
+		diags = append(diags, sup.stale(analyzers)...)
 	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders by (file, line, column, analyzer, message): a
+// total order, so equal-position findings from different analyzers — or
+// the same analyzer reporting twice on one expression — always render in
+// the same sequence.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -177,36 +248,53 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
 }
 
-// suppressions indexes //lint:ignore and //lint:file-ignore directives.
+// directive is one parsed //lint:ignore or //lint:file-ignore comment.
+type directive struct {
+	pos      token.Position
+	start    token.Pos // comment extent, for the deletion fix
+	end      token.Pos
+	analyzer string
+	fileWide bool
+	used     bool
+}
+
+// suppressions indexes the directives of one package.
 type suppressions struct {
-	// lines maps file -> analyzer -> suppressed lines.
-	lines map[string]map[string]map[int]bool
-	// files maps file -> analyzer suppressed for the whole file.
-	files     map[string]map[string]bool
-	malformed []Diagnostic
+	// lines maps file -> analyzer -> line -> directive covering it.
+	lines map[string]map[string]map[int]*directive
+	// files maps file -> analyzer -> file-wide directive.
+	files      map[string]map[string]*directive
+	directives []*directive
+	malformed  []Diagnostic
 }
 
 func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 	s := &suppressions{
-		lines: map[string]map[string]map[int]bool{},
-		files: map[string]map[string]bool{},
+		lines: map[string]map[string]map[int]*directive{},
+		files: map[string]map[string]*directive{},
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
+			// Standalone directives stack: every directive in the group
+			// covers through the line after the whole group, so several
+			// analyzers can be excused above one statement.
+			groupEnd := fset.Position(cg.End()).Line
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				var fileWide bool
 				switch {
-				case strings.HasPrefix(text, "lint:ignore"):
-					text = strings.TrimPrefix(text, "lint:ignore")
 				case strings.HasPrefix(text, "lint:file-ignore"):
 					text = strings.TrimPrefix(text, "lint:file-ignore")
 					fileWide = true
+				case strings.HasPrefix(text, "lint:ignore"):
+					text = strings.TrimPrefix(text, "lint:ignore")
 				default:
 					continue
 				}
@@ -220,29 +308,39 @@ func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 					})
 					continue
 				}
-				name := fields[0]
+				d := &directive{
+					pos:      pos,
+					start:    c.Pos(),
+					end:      c.End(),
+					analyzer: fields[0],
+					fileWide: fileWide,
+				}
+				s.directives = append(s.directives, d)
 				if fileWide {
 					byName := s.files[pos.Filename]
 					if byName == nil {
-						byName = map[string]bool{}
+						byName = map[string]*directive{}
 						s.files[pos.Filename] = byName
 					}
-					byName[name] = true
+					byName[d.analyzer] = d
 					continue
 				}
 				byName := s.lines[pos.Filename]
 				if byName == nil {
-					byName = map[string]map[int]bool{}
+					byName = map[string]map[int]*directive{}
 					s.lines[pos.Filename] = byName
 				}
-				if byName[name] == nil {
-					byName[name] = map[int]bool{}
+				if byName[d.analyzer] == nil {
+					byName[d.analyzer] = map[int]*directive{}
 				}
-				// The directive covers its own line and the next one, so
-				// it works both trailing and standalone-above.
-				end := fset.Position(c.End()).Line
-				byName[name][end] = true
-				byName[name][end+1] = true
+				// The directive covers its own line (trailing form), the
+				// rest of its comment group (stacked directives), and the
+				// line after the group (standalone-above form).
+				for line := pos.Line; line <= groupEnd+1; line++ {
+					if byName[d.analyzer][line] == nil {
+						byName[d.analyzer][line] = d
+					}
+				}
 			}
 		}
 	}
@@ -250,8 +348,47 @@ func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 }
 
 func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
-	if s.files[pos.Filename][analyzer] {
+	if d := s.files[pos.Filename][analyzer]; d != nil {
+		d.used = true
 		return true
 	}
-	return s.lines[pos.Filename][analyzer][pos.Line]
+	if d := s.lines[pos.Filename][analyzer][pos.Line]; d != nil {
+		d.used = true
+		return true
+	}
+	return false
+}
+
+// stale reports every well-formed directive that suppressed nothing in
+// this run. Directives naming an analyzer outside the run's set are
+// reported too — a typo in the name would otherwise silence nothing,
+// forever, invisibly. The suggested fix deletes the directive.
+func (s *suppressions) stale(analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{"lint-directive": true, "stale-suppression": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, d := range s.directives {
+		if d.used {
+			continue
+		}
+		msg := fmt.Sprintf("directive suppresses no %s finding; delete it or fix the justification", d.analyzer)
+		if !known[d.analyzer] {
+			msg = fmt.Sprintf("directive names unknown analyzer %q and can never suppress anything", d.analyzer)
+		}
+		if s.suppressed("stale-suppression", d.pos) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: "stale-suppression",
+			Message:  msg,
+			Fixes: []SuggestedFix{{
+				Message: "delete the stale directive",
+				Edits:   []TextEdit{{Pos: d.start, End: d.end}},
+			}},
+		})
+	}
+	return diags
 }

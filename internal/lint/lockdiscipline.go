@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerLockDiscipline forbids blocking work while a sync.Mutex or
+// sync.RWMutex is held. The daemon's handlers and the world pool hold
+// short critical sections around in-memory state; a channel operation,
+// network I/O, or a pipeline run inside one turns every other waiter
+// into a convoy — and, when the blocking work needs the same lock to
+// make progress (the SSE event log waking subscribers, the limiter
+// releasing a slot), into a deadlock. The tracker is intra-procedural
+// and linear: Lock()/RLock() on a resolved sync primitive marks it held,
+// Unlock()/RUnlock() releases it, `defer mu.Unlock()` holds it for the
+// rest of the function, and every statement in between is screened for
+// blocking shapes. Closure bodies are separate functions with no lock
+// held (the tracker does not chase captured locks across the boundary).
+var AnalyzerLockDiscipline = &Analyzer{
+	Name: "lock-discipline",
+	Doc: "forbid blocking operations — channel sends/receives, selects, " +
+		"net/http I/O, time.Sleep, and long-running calls such as Wait, " +
+		"Acquire, or Pipeline.Run — between a sync.Mutex/RWMutex Lock and " +
+		"its Unlock; critical sections must stay short and in-memory",
+	Run: runLockDiscipline,
+}
+
+// blockingPkgs are import paths whose calls are assumed to block on the
+// outside world.
+var blockingPkgs = map[string]bool{
+	"net":      true,
+	"net/http": true,
+	"os/exec":  true,
+}
+
+// blockingNames are method/function names that mark long-running or
+// synchronizing work regardless of package: joining a pool, acquiring a
+// slot, running a pipeline, serving a listener.
+var blockingNames = map[string]bool{
+	"Wait":           true,
+	"Acquire":        true,
+	"Run":            true,
+	"Serve":          true,
+	"ListenAndServe": true,
+	"Shutdown":       true,
+	"Sleep":          true,
+	"Join":           true,
+}
+
+func runLockDiscipline(p *Pass) {
+	df := p.Facts()
+	for _, fi := range df.funcs {
+		checkLockedBody(p, fi)
+	}
+}
+
+// checkLockedBody walks one function body linearly, tracking the set of
+// held sync primitives by object identity.
+func checkLockedBody(p *Pass, fi *funcInfo) {
+	if fi.body == nil {
+		return
+	}
+	held := map[types.Object]*ast.CallExpr{} // lock object -> Lock call site
+	walkLinear(fi.body, func(st ast.Stmt) {
+		switch x := st.(type) {
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held until return; any
+			// other defer is teardown code that runs outside the walk.
+			return
+		case *ast.SendStmt:
+			reportHeld(p, held, x.Pos(), "channel send")
+			return
+		case *ast.SelectStmt:
+			reportHeld(p, held, x.Pos(), "select")
+			return
+		case *ast.ExprStmt, *ast.AssignStmt, *ast.GoStmt, *ast.ReturnStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.LabeledStmt, *ast.BlockStmt, *ast.TypeSwitchStmt, *ast.BranchStmt, *ast.CaseClause, *ast.CommClause, *ast.EmptyStmt:
+			// Headers and simple statements are screened expression-wise
+			// below; nested bodies arrive as their own statements.
+		}
+		screenStmt(p, held, st)
+	})
+}
+
+// screenStmt updates the held set from lock/unlock calls in st's own
+// expressions (not nested blocks) and reports blocking shapes.
+func screenStmt(p *Pass, held map[types.Object]*ast.CallExpr, st ast.Stmt) {
+	shallowExprs(st, func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					reportHeld(p, held, x.Pos(), "channel receive")
+				}
+			case *ast.CallExpr:
+				screenCall(p, held, x)
+			}
+			return true
+		})
+	})
+}
+
+// screenCall classifies one call: a lock transition, a blocking call, or
+// neither.
+func screenCall(p *Pass, held map[types.Object]*ast.CallExpr, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	obj := receiverBase(p, sel.X)
+	if obj != nil && isMutexType(objType(obj)) {
+		switch name {
+		case "Lock", "RLock":
+			held[obj] = call
+		case "Unlock", "RUnlock":
+			delete(held, obj)
+		}
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	if pkg := calleePkgPath(p, call); pkg != "" && blockingPkgs[pkg] {
+		reportHeld(p, held, call.Pos(), "call into "+pkg)
+		return
+	}
+	if blockingNames[name] {
+		// time.Sleep and friends resolve through the package path too,
+		// but the name list also catches methods (Limiter.Acquire,
+		// Pipeline.Run, WaitGroup.Wait) on any receiver.
+		reportHeld(p, held, call.Pos(), name+"()")
+	}
+}
+
+// calleePkgPath resolves the defining package of the called function or
+// method, or "" when unknown.
+func calleePkgPath(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if p.Info == nil {
+		return ""
+	}
+	if s, ok := p.Info.Selections[sel]; ok {
+		if f := s.Obj(); f != nil && f.Pkg() != nil {
+			return f.Pkg().Path()
+		}
+		return ""
+	}
+	// Package-level function: pkg.Func.
+	if obj := p.ObjectOf(sel.Sel); obj != nil && obj.Pkg() != nil {
+		return obj.Pkg().Path()
+	}
+	return ""
+}
+
+// reportHeld emits one finding per blocking site, naming the oldest held
+// lock.
+func reportHeld(p *Pass, held map[types.Object]*ast.CallExpr, pos token.Pos, what string) {
+	if len(held) == 0 {
+		return
+	}
+	var lock types.Object
+	var lockCall *ast.CallExpr
+	for obj, call := range held {
+		if lockCall == nil || call.Pos() < lockCall.Pos() {
+			lock, lockCall = obj, call
+		}
+	}
+	p.Reportf(pos, "%s while %s is locked (since line %d); release the lock before blocking, "+
+		"or justify with //lint:ignore lock-discipline <reason>",
+		what, lock.Name(), p.Fset.Position(lockCall.Pos()).Line)
+}
+
+// shallowExprs invokes fn on the expressions belonging to st itself —
+// not those of statements nested inside its blocks, which walkLinear
+// delivers separately.
+func shallowExprs(st ast.Stmt, fn func(ast.Expr)) {
+	switch x := st.(type) {
+	case *ast.ExprStmt:
+		fn(x.X)
+	case *ast.SendStmt:
+		fn(x.Chan)
+		fn(x.Value)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			fn(e)
+		}
+		for _, e := range x.Lhs {
+			fn(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			fn(e)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			shallowExprs(x.Init, fn)
+		}
+		fn(x.Cond)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			shallowExprs(x.Init, fn)
+		}
+		if x.Cond != nil {
+			fn(x.Cond)
+		}
+		if x.Post != nil {
+			shallowExprs(x.Post, fn)
+		}
+	case *ast.RangeStmt:
+		fn(x.X)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			shallowExprs(x.Init, fn)
+		}
+		if x.Tag != nil {
+			fn(x.Tag)
+		}
+	case *ast.IncDecStmt:
+		fn(x.X)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						fn(e)
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// The launch itself does not block; only its arguments are
+		// evaluated in the critical section.
+		for _, e := range x.Call.Args {
+			fn(e)
+		}
+	}
+}

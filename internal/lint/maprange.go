@@ -25,7 +25,8 @@ var AnalyzerNondetermMapRange = &Analyzer{
 // the collected slice may appear and still count as the fix.
 const sortFollowDistance = 3
 
-func runNondetermMapRange(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+func runNondetermMapRange(p *Pass) {
+	report := p.Reportf
 	for _, f := range p.Files {
 		inspectBlocks(f, func(list []ast.Stmt) {
 			for i, stmt := range list {

@@ -19,7 +19,8 @@ var AnalyzerMutexCopy = &Analyzer{
 	Run: runMutexCopy,
 }
 
-func runMutexCopy(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+func runMutexCopy(p *Pass) {
+	report := p.Reportf
 	memo := map[types.Type]bool{}
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 )
 
 // globalRandFuncs are the math/rand (and v2) package-level functions that
@@ -31,7 +30,8 @@ var AnalyzerNondetermRand = &Analyzer{
 	Run: runNondetermRand,
 }
 
-func runNondetermRand(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+func runNondetermRand(p *Pass) {
+	report := p.Reportf
 	// internal/rng is the sanctioned randomness layer and internal/netsim
 	// constructs its worlds from a locally seeded generator; both stay
 	// subject to the time-seeding check but may touch math/rand freely.

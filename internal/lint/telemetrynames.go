@@ -29,7 +29,8 @@ var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
 // ("probe." + stage + ".pings"): only the convention's alphabet.
 var metricFragmentRE = regexp.MustCompile(`^[a-z0-9_.]+$`)
 
-func runTelemetryNames(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+func runTelemetryNames(p *Pass) {
+	report := p.Reportf
 	for _, f := range append(append([]*ast.File{}, p.Files...), p.TestFiles...) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)

@@ -1,0 +1,32 @@
+// Package apicompatpkg is a lint fixture for api-compat: its
+// compat.lock freezes StatusV1 correctly (clean), freezes DriftedV1
+// with Count as int (the source now says int64: drift), and freezes
+// RemovedV1 (no longer declared: deletion); UnfrozenV1 is declared but
+// absent from the lock.
+package apicompatpkg
+
+// StatusV1 matches its frozen block exactly: clean.
+type StatusV1 struct {
+	State string `json:"state"`
+	Code  int    `json:"code"`
+}
+
+// DriftedV1 froze Count as int; the retype to int64 below is a wire
+// break and is flagged.
+type DriftedV1 struct {
+	Name  string    `json:"name"`
+	Count int64     `json:"count"`
+	Extra ExtraInfo `json:"extra"`
+}
+
+// ExtraInfo is an unversioned module-local struct: its fields are
+// expanded inline under DriftedV1 in the lock, so drift here would trip
+// the gate too.
+type ExtraInfo struct {
+	Note string `json:"note"`
+}
+
+// UnfrozenV1 is declared but not frozen in compat.lock: flagged.
+type UnfrozenV1 struct {
+	ID string `json:"id"`
+}

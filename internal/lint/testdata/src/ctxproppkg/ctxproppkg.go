@@ -1,0 +1,60 @@
+// Package ctxproppkg is a lint fixture for ctx-propagation: functions
+// that already have a context (a ctx parameter, or an *http.Request)
+// must thread it into every ctx-accepting call. Each finding carries a
+// suggested fix; fixed.golden is the -fix output the round-trip test
+// pins.
+package ctxproppkg
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Detached passes a fresh Background to the callee even though the
+// caller has ctx: flagged, fix substitutes ctx.
+func Detached(ctx context.Context, n int) error {
+	return doWork(context.Background(), n)
+}
+
+// NilCtx severs the chain with a nil context: flagged, fix substitutes
+// ctx.
+func NilCtx(ctx context.Context, key string) error {
+	return store(nil, key)
+}
+
+// InClosure detaches inside a closure that captures ctx: flagged — the
+// closure runs under the same lifetime.
+func InClosure(ctx context.Context) func() error {
+	return func() error {
+		return doWork(context.TODO(), 0)
+	}
+}
+
+// Handler has no ctx parameter but owns an *http.Request; the request
+// context carries the client's lifetime: flagged, fix substitutes
+// r.Context().
+func Handler(w http.ResponseWriter, r *http.Request) {
+	_ = doWork(context.Background(), 1)
+}
+
+// Threaded passes the caller's context straight through, and Derived
+// passes a context derived from it: both clean.
+func Threaded(ctx context.Context) error {
+	return doWork(ctx, 2)
+}
+
+func Derived(ctx context.Context) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return doWork(tctx, 3)
+}
+
+// NoCtx has no context of its own, so Background is its only honest
+// choice: clean.
+func NoCtx(n int) error {
+	return doWork(context.Background(), n)
+}
+
+func doWork(ctx context.Context, n int) error     { return ctx.Err() }
+func store(ctx context.Context, key string) error { return nil }

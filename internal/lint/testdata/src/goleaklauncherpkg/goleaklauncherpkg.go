@@ -1,8 +1,8 @@
-// Package baregolauncherpkg is a lint fixture for the launcher-owns-the-
+// Package goleaklauncherpkg is a lint fixture for the launcher-owns-the-
 // join recognition: named worker functions launched by a function that
 // calls wg.Add and wg.Wait (internal/parallel's ForEach shape) are
 // sanctioned; named launches nothing joins are flagged.
-package baregolauncherpkg
+package goleaklauncherpkg
 
 import "sync"
 

@@ -1,0 +1,71 @@
+// Package goleakpkg is a lint fixture for goroutine-leak: goroutines
+// outside every join/cancellation pattern, the WaitGroup worker-pool
+// idiom, ctx-cancellable launches, and the dataflow refinement — a
+// deferred Done() only sanctions the goroutine when the same WaitGroup
+// object is Wait-ed somewhere in the package.
+package goleakpkg
+
+import (
+	"context"
+	"sync"
+)
+
+// Fire spawns goroutines nothing ever joins: both flagged.
+func Fire() {
+	go background()
+	go func() {
+		background()
+	}()
+}
+
+// Pool is the sanctioned idiom: workers defer wg.Done, the dispatcher
+// owns wg.Wait. Neither is flagged.
+func Pool(n int) {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			background()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	<-done
+}
+
+// CtxArg threads the caller's context into the goroutine as an
+// argument: ctx-cancellable, not flagged.
+func CtxArg(ctx context.Context) {
+	go watch(ctx)
+}
+
+// CtxCapture selects on the captured context's Done channel:
+// ctx-cancellable, not flagged.
+func CtxCapture(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		default:
+		}
+	}()
+}
+
+// DoneNeverWaited defers Done() on a WaitGroup no function in the
+// package ever Waits on — the join evidence is fake, so the launch is
+// flagged with the dataflow-specific reason.
+func DoneNeverWaited() {
+	var orphan sync.WaitGroup
+	orphan.Add(1)
+	go func() {
+		defer orphan.Done()
+		background()
+	}()
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+func background() {}

@@ -1,0 +1,96 @@
+// Package lockpkg is a lint fixture for lock-discipline: blocking
+// operations — channel traffic, selects, net/http I/O, named
+// long-running calls — inside a mutex critical section are flagged;
+// sections that release the lock first, and closures (fresh scope, no
+// lock held), are clean.
+package lockpkg
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	subs []chan int
+	url  string
+}
+
+// SendLocked sends on a channel while mu is held: flagged.
+func (s *server) SendLocked(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ch := range s.subs {
+		ch <- v
+	}
+}
+
+// SelectLocked selects while mu is held: flagged.
+func (s *server) SelectLocked(stop chan struct{}) {
+	s.mu.Lock()
+	select {
+	case <-stop:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// ReceiveLocked blocks on a channel receive under an RLock: flagged.
+func (s *server) ReceiveLocked(in chan int) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return <-in
+}
+
+// FetchLocked performs net/http I/O inside the critical section:
+// flagged.
+func (s *server) FetchLocked() (*http.Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return http.Get(s.url)
+}
+
+// SleepLocked parks the goroutine with the lock held: flagged.
+func (s *server) SleepLocked() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}
+
+// WaitLocked joins a pool while holding the lock: flagged (Wait is a
+// blocking name on any receiver).
+func (s *server) WaitLocked(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait()
+}
+
+// UnlockFirst copies the subscriber list under the lock and blocks only
+// after releasing it: clean.
+func (s *server) UnlockFirst(v int) {
+	s.mu.Lock()
+	subs := append([]chan int(nil), s.subs...)
+	s.mu.Unlock()
+	for _, ch := range subs {
+		ch <- v
+	}
+}
+
+// ClosureScope launches the blocking work in a goroutine closure: the
+// closure is its own function with no lock held, so only the snapshot
+// under the lock is screened. Clean.
+func (s *server) ClosureScope(v int, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	subs := append([]chan int(nil), s.subs...)
+	s.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, ch := range subs {
+			ch <- v
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,7 @@
+package stalepkg
+
+// The file-wide directive below suppresses nothing in this file: stale,
+// reported once at the directive.
+//lint:file-ignore hotpath-alloc nothing in this file is a hot path
+
+func helper() int { return 1 }

@@ -1,0 +1,12 @@
+package suppresspkg
+
+// A file-wide directive silences a dataflow analyzer for the whole
+// file: the unjoined launch below is excused.
+//lint:file-ignore goroutine-leak fixture detaches one goroutine on purpose
+
+// Detach launches a goroutine nothing joins; the file-ignore covers it.
+func Detach() {
+	go func() {
+		select {}
+	}()
+}

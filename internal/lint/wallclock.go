@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"path/filepath"
 	"strings"
 )
@@ -36,7 +35,8 @@ var wallclockAllowedFiles = map[string]bool{
 	"internal/probe/icmp_linux.go": true,
 }
 
-func runWallclock(p *Pass, report func(pos token.Pos, format string, args ...any)) {
+func runWallclock(p *Pass) {
+	report := p.Reportf
 	if p.Path == p.ModulePath+"/internal/telemetry" ||
 		strings.HasPrefix(p.Path, p.ModulePath+"/cmd/") {
 		return

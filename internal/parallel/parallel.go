@@ -3,8 +3,9 @@
 // ordered merge. Every post-campaign stage that shards work — similarity
 // graph construction, MCL expansion, reprobe validation — runs through
 // this package, so concurrency policy (worker bounds, cancellation,
-// telemetry accounting) lives in exactly one place and the bare-go
-// analyzer can treat its launch sites as the approved idiom.
+// telemetry accounting) lives in exactly one place and the
+// goroutine-leak analyzer can treat its launch sites as the approved
+// idiom.
 //
 // The determinism contract: callers hand the pool an index space [0, n)
 // and a function whose result for index i depends only on i and on

@@ -2,8 +2,11 @@
 # Tier-1 gate: everything must pass before a change lands.
 # - gofmt must report no files (output fails the gate);
 # - go vet and the repo's own static-analysis suite (cmd/hobbitlint)
-#   are hard gates: determinism and concurrency invariants are
-#   machine-checked, not review conventions;
+#   are hard gates: determinism, concurrency (goroutine-leak,
+#   lock-discipline, ctx-propagation), and wire-format (api-compat vs
+#   compat.lock) invariants are machine-checked, not review
+#   conventions, and every //lint:ignore must still be earning its
+#   keep (stale-suppression);
 # - tests run exactly once, under -race: the race leg exercises a strict
 #   superset of the plain run (campaign workers, the parallel
 #   clustering/validation pools, and the telemetry registry all share
