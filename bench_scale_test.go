@@ -1,0 +1,190 @@
+// Scale benchmarks: the 100k-block census and pipelined campaign legs
+// that BENCH_SCALE.json gates in CI (the bench-scale job; see ci.yml and
+// cmd/benchdiff for the refresh procedure). Beyond ns/op and B/op these
+// legs guard peak heap: the streaming census must hold chunks, not the
+// universe, so a regression that re-materializes per-block state shows
+// up here as a ceiling breach long before it shows up as an OOM at 1M
+// blocks.
+//
+// Run with: go test -run xxx -bench '^BenchmarkScale$' -benchtime=1x -count=3 -benchmem .
+package hobbit
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hobbitscan/hobbit/internal/core"
+	"github.com/hobbitscan/hobbit/internal/netsim"
+	"github.com/hobbitscan/hobbit/internal/probe"
+	"github.com/hobbitscan/hobbit/internal/zmap"
+)
+
+// scaleBlocks is the universe size of the scale legs: large enough that
+// materializing per-block intermediates would dominate memory, small
+// enough for a per-PR CI job.
+const scaleBlocks = 100_000
+
+// Peak-heap ceilings, in bytes, for the scale legs — checked-in budgets
+// the same way BENCH_SCALE.json pins wall clock. Measured peaks (world +
+// streamed run) are ~50 MB for the census leg and ~120 MB for the full
+// pipeline; the ~2.5x headroom absorbs GC timing and host variance,
+// while a change that rematerializes per-block state (the census used to
+// allocate millions of record pointers) blows through it immediately.
+const (
+	scaleCensusHeapCeiling   = 128 << 20
+	scalePipelineHeapCeiling = 320 << 20
+)
+
+// scaleChunk is the stream chunk size used by both legs; at 100k blocks
+// it keeps ~98 chunks in flight across the pipeline windows.
+const scaleChunk = 1024
+
+var (
+	scaleOnce  sync.Once
+	scaleWorld *netsim.World
+	scaleErr   error
+)
+
+// scaleLab builds the shared 100k-block world once; benchmarks must not
+// mutate it.
+func scaleLab(b *testing.B) *netsim.World {
+	b.Helper()
+	scaleOnce.Do(func() {
+		cfg := netsim.DefaultConfig(scaleBlocks)
+		cfg.BigBlockScale = 0.05
+		scaleWorld, scaleErr = netsim.New(cfg)
+	})
+	if scaleErr != nil {
+		b.Fatal(scaleErr)
+	}
+	return scaleWorld
+}
+
+// heapPeak samples runtime.ReadMemStats on a short interval and tracks
+// the maximum live heap observed, approximating the run's peak RSS.
+// Sampling (rather than a post-run reading) is what catches transient
+// materialization: a stage that briefly holds the whole universe and
+// frees it again leaves no trace in the final heap size.
+type heapPeak struct {
+	peak atomic.Uint64
+	stop chan struct{}
+	done chan struct{}
+}
+
+func trackHeapPeak() *heapPeak {
+	h := &heapPeak{stop: make(chan struct{}), done: make(chan struct{})}
+	h.sample()
+	go func() {
+		defer close(h.done)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				h.sample()
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+	return h
+}
+
+func (h *heapPeak) sample() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	for {
+		old := h.peak.Load()
+		if m.HeapAlloc <= old || h.peak.CompareAndSwap(old, m.HeapAlloc) {
+			return
+		}
+	}
+}
+
+// Stop ends sampling and returns the peak live heap in bytes.
+func (h *heapPeak) Stop() uint64 {
+	close(h.stop)
+	<-h.done
+	h.sample()
+	return h.peak.Load()
+}
+
+// guardHeap reports the observed peak as a metric and fails the leg when
+// it exceeds its checked-in ceiling.
+func guardHeap(b *testing.B, peak, ceiling uint64) {
+	b.Helper()
+	b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
+	if peak > ceiling {
+		b.Fatalf("peak heap %d MB exceeds the checked-in ceiling %d MB",
+			peak>>20, ceiling>>20)
+	}
+}
+
+// BenchmarkScale exercises the streaming census and the fully pipelined
+// census→campaign→aggregation run at 100k blocks. Output equivalence
+// with the materialized path is pinned by TestStreamMatchesScanWith and
+// TestPipelineStreamedIdentical; these legs pin the resource envelope.
+func BenchmarkScale(b *testing.B) {
+	w := scaleLab(b)
+	blocks := w.Blocks()
+
+	b.Run(fmt.Sprintf("census-%dk-blocks", scaleBlocks/1000), func(b *testing.B) {
+		b.ReportAllocs()
+		runtime.GC()
+		hp := trackHeapPeak()
+		b.ResetTimer()
+		var actives int
+		for i := 0; i < b.N; i++ {
+			ds := zmap.Collect(zmap.Stream(context.Background(), w, blocks, zmap.StreamOptions{
+				Workers:   8,
+				ChunkSize: scaleChunk,
+			}))
+			actives = ds.TotalActive()
+			if actives == 0 {
+				b.Fatal("census found no responders")
+			}
+		}
+		b.StopTimer()
+		guardHeap(b, hp.Stop(), scaleCensusHeapCeiling)
+		b.ReportMetric(float64(actives), "responders")
+	})
+
+	b.Run(fmt.Sprintf("pipeline-%dk-blocks", scaleBlocks/1000), func(b *testing.B) {
+		b.ReportAllocs()
+		runtime.GC()
+		hp := trackHeapPeak()
+		b.ResetTimer()
+		var eligible, final int
+		for i := 0; i < b.N; i++ {
+			p := &core.Pipeline{
+				Net:     probe.NewSimNetwork(w),
+				Scanner: w,
+				Blocks:  blocks,
+				Seed:    7,
+				Options: core.Options{
+					Workers:        8,
+					CensusWorkers:  8,
+					SkipClustering: true,
+				},
+				StreamChunk: scaleChunk,
+			}
+			out, err := p.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			eligible, final = len(out.Eligible), len(out.Final)
+			if eligible == 0 || final == 0 {
+				b.Fatalf("pipeline produced %d eligible, %d final blocks", eligible, final)
+			}
+		}
+		b.StopTimer()
+		guardHeap(b, hp.Stop(), scalePipelineHeapCeiling)
+		b.ReportMetric(float64(eligible), "eligible-blocks")
+		b.ReportMetric(float64(final), "final-blocks")
+	})
+}

@@ -13,10 +13,20 @@
 // previously produced by -write (detected by content, not extension).
 // With both OLD and NEW, benchdiff prints a comparison and exits 1 on
 // regression. With only OLD and -write, it converts OLD to the JSON
-// baseline format — how BENCH_<pr>.json baselines are produced:
+// baseline format — how BENCH_<pr>.json baselines are produced.
 //
-//	go test -bench=. -benchtime=1x -benchmem . > bench.txt
+// Repeated runs of the same benchmark (go test -count=N) keep the
+// per-metric minimum, not the mean: the minimum is the least-noise
+// estimate of a benchmark's true cost, because scheduler and cache
+// interference only ever add time. CI therefore runs every bench job
+// with -count=3, and baselines must be refreshed the same way so both
+// sides of the comparison are minima over equal sample counts:
+//
+//	go test -run xxx -bench=. -benchtime=1x -count=3 -benchmem . > bench.txt
 //	go run ./cmd/benchdiff -write BENCH_4.json bench.txt
+//
+// (Same procedure for BENCH_SCALE.json, with -bench '^BenchmarkScale$'
+// and the bench.txt from the scale job.)
 //
 // All three metrics are gated. B/op and allocs/op additionally enforce a
 // zero-baseline rule: a benchmark whose baseline is allocation-free must
@@ -33,6 +43,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -40,7 +51,7 @@ import (
 )
 
 // Metrics is one benchmark's parsed result. Repeated runs of the same
-// benchmark average their values.
+// benchmark keep the per-metric minimum (see the package comment).
 type Metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
@@ -173,10 +184,14 @@ func parseBenchText(data []byte) (map[string]Metrics, error) {
 	out := make(map[string]Metrics)
 	for _, l := range lines {
 		name := strings.TrimSuffix(l.name, suffix)
-		m := out[name]
-		m.NsPerOp = (m.NsPerOp*float64(m.runs) + l.ns) / float64(m.runs+1)
-		m.BytesPerOp = (m.BytesPerOp*float64(m.runs) + l.bpo) / float64(m.runs+1)
-		m.AllocsPerOp = (m.AllocsPerOp*float64(m.runs) + l.apo) / float64(m.runs+1)
+		m, ok := out[name]
+		if !ok {
+			m = Metrics{NsPerOp: l.ns, BytesPerOp: l.bpo, AllocsPerOp: l.apo}
+		} else {
+			m.NsPerOp = math.Min(m.NsPerOp, l.ns)
+			m.BytesPerOp = math.Min(m.BytesPerOp, l.bpo)
+			m.AllocsPerOp = math.Min(m.AllocsPerOp, l.apo)
+		}
 		m.runs++
 		out[name] = m
 	}

@@ -29,13 +29,14 @@ func TestParseBenchText(t *testing.T) {
 	if len(set) != 3 {
 		t.Fatalf("parsed %d benchmarks, want 3: %v", len(set), set)
 	}
-	// The duplicated Alpha runs average, and the -8 suffix is stripped.
+	// The duplicated Alpha runs keep the per-metric minimum, and the -8
+	// suffix is stripped.
 	alpha, ok := set["BenchmarkAlpha"]
 	if !ok {
 		t.Fatal("BenchmarkAlpha missing (suffix not stripped?)")
 	}
-	if alpha.NsPerOp != 2000 || alpha.BytesPerOp != 384 || alpha.AllocsPerOp != 6 {
-		t.Errorf("Alpha averaged to %+v, want 2000 ns / 384 B / 6 allocs", alpha)
+	if alpha.NsPerOp != 1000 || alpha.BytesPerOp != 256 || alpha.AllocsPerOp != 4 {
+		t.Errorf("Alpha reduced to %+v, want minima 1000 ns / 256 B / 4 allocs", alpha)
 	}
 	if got := set["BenchmarkBeta/workers-1"].NsPerOp; got != 2000 {
 		t.Errorf("Beta/workers-1 ns/op = %v, want 2000", got)

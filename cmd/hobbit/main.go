@@ -7,9 +7,9 @@
 // Usage:
 //
 //	hobbit [-blocks N] [-scale F] [-seed S] [-workers W]
-//	       [-census-workers W] [-cluster-workers W] [-skip-clustering]
-//	       [-fault-plan NAME] [-dump FILE] [-top N] [-json] [-progress]
-//	       [-metrics-addr HOST:PORT]
+//	       [-census-workers W] [-cluster-workers W] [-stream-chunk N]
+//	       [-skip-clustering] [-fault-plan NAME] [-dump FILE] [-top N]
+//	       [-json] [-progress] [-metrics-addr HOST:PORT]
 //
 // Every run is instrumented: -json emits the versioned api.RunSummaryV1
 // (the same bytes hobbitd serves from /v1/campaigns/{id}/result) with a
@@ -52,6 +52,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "measurement workers (0 = GOMAXPROCS)")
 		clWorker = flag.Int("cluster-workers", 0, "post-campaign stage workers: similarity graph, MCL, validation (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		cnWorker = flag.Int("census-workers", 0, "census sweep workers (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
+		stream   = flag.Int("stream-chunk", 0, "pipeline census, measurement, and aggregation over chunks of this many /24s (0 = materialized stages; output is identical either way)")
 		skipCl   = flag.Bool("skip-clustering", false, "stop after identical-set aggregation")
 		plan     = flag.String("fault-plan", "", "inject a built-in fault plan into the synthetic world and enable adaptive probing (one of: "+strings.Join(faultplan.BuiltinNames(), ", ")+")")
 		dump     = flag.String("dump", "", "write the final homogeneous block map to this file")
@@ -65,7 +66,7 @@ func main() {
 	if err := run(context.Background(), runConfig{
 		blocks: *blocks, scale: *scale, seed: *seed, workers: *workers,
 		clusterWorkers: *clWorker, censusWorkers: *cnWorker,
-		skipClustering: *skipCl, faultPlan: *plan,
+		streamChunk: *stream, skipClustering: *skipCl, faultPlan: *plan,
 		dump: *dump, top: *top, json: *jsonOut,
 		progress: *progress, metricsAddr: *metrics,
 	}); err != nil {
@@ -81,6 +82,7 @@ type runConfig struct {
 	workers        int
 	clusterWorkers int
 	censusWorkers  int
+	streamChunk    int
 	skipClustering bool
 	faultPlan      string
 	dump           string
@@ -192,12 +194,13 @@ func run(ctx context.Context, rc runConfig) error {
 
 	pnet := probe.Instrument(probe.NewSimNetwork(world), reg, core.StageMeasure)
 	p := &core.Pipeline{
-		Net:       pnet,
-		Scanner:   world,
-		Blocks:    world.Blocks(),
-		Seed:      rc.seed,
-		Options:   opts,
-		Telemetry: reg,
+		Net:         pnet,
+		Scanner:     world,
+		Blocks:      world.Blocks(),
+		Seed:        rc.seed,
+		Options:     opts,
+		StreamChunk: rc.streamChunk,
+		Telemetry:   reg,
 	}
 	if rc.progress {
 		p.Progress = telemetry.NewLineSink(os.Stderr, 100)

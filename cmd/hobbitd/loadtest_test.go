@@ -2,7 +2,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"sort"
 	"strconv"
@@ -21,6 +23,9 @@ import (
 //
 // Enable with HOBBITD_LOADTEST=1; tune with HOBBITD_LOADTEST_CLIENTS,
 // HOBBITD_LOADTEST_REQUESTS (per client), and HOBBITD_LOADTEST_P99_MS.
+// HOBBITD_LOADTEST_SNAPSHOT=FILE additionally writes the daemon's final
+// /v1/metrics telemetry snapshot to FILE — the nightly scale job uploads
+// it as a CI artifact next to the latency log.
 func TestLoadConcurrentClients(t *testing.T) {
 	if os.Getenv("HOBBITD_LOADTEST") == "" {
 		t.Skip("set HOBBITD_LOADTEST=1 to run the load gate")
@@ -97,6 +102,32 @@ func TestLoadConcurrentClients(t *testing.T) {
 	}
 	t.Logf("load: cache hits %d, misses %d, probes %d",
 		c["serve.cache_hits"], c["serve.cache_misses"], c["serve.probes_total"])
+
+	if path := os.Getenv("HOBBITD_LOADTEST_SNAPSHOT"); path != "" {
+		writeSnapshot(t, ts, path)
+	}
+}
+
+// writeSnapshot saves the daemon's /v1/metrics response — the full
+// telemetry snapshot after the load run — verbatim to path.
+func writeSnapshot(t *testing.T, ts *httptest.Server, path string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %s: %s", resp.Status, data)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("load: telemetry snapshot written to %s", path)
 }
 
 func envInt(name string, def int) int {

@@ -56,26 +56,57 @@ func Identical(results []*hobbit.BlockResult) []*Block {
 // call and across calls sharing the interner — alias the same backing
 // array.
 func IdenticalInterned(results []*hobbit.BlockResult, in *Interner) []*Block {
-	byKey := make(map[string]*Block)
-	var order []*Block
+	bd := NewBuilder(in)
 	for _, r := range results {
-		if len(r.LastHops) == 0 {
-			continue
-		}
-		set, k := in.Intern(r.LastHops)
-		blk, ok := byKey[k]
-		if !ok {
-			blk = &Block{LastHops: set}
-			byKey[k] = blk
-			order = append(order, blk)
-		}
-		blk.Blocks24 = append(blk.Blocks24, r.Block)
+		bd.Add(r)
 	}
-	for i, b := range order {
+	return bd.Finish()
+}
+
+// Builder is the incremental form of IdenticalInterned: results are
+// folded in one at a time as a pipelined campaign emits them, and Finish
+// seals the aggregation. Feeding a Builder the same results in the same
+// order as an IdenticalInterned call produces exactly its output — group
+// membership, block order, member sorting, and dense IDs — which is what
+// lets the streaming pipeline aggregate against the measurement campaign
+// without a barrier and still stay byte-identical to the materialized
+// path.
+type Builder struct {
+	in    *Interner
+	byKey map[string]*Block
+	order []*Block
+}
+
+// NewBuilder returns an empty builder drawing last-hop storage from in.
+func NewBuilder(in *Interner) *Builder {
+	return &Builder{in: in, byKey: make(map[string]*Block)}
+}
+
+// Add folds one measurement result into the aggregation. Results with
+// empty last-hop sets are skipped, exactly as Identical skips them.
+func (bd *Builder) Add(r *hobbit.BlockResult) {
+	if len(r.LastHops) == 0 {
+		return
+	}
+	set, k := bd.in.Intern(r.LastHops)
+	blk, ok := bd.byKey[k]
+	if !ok {
+		blk = &Block{LastHops: set}
+		bd.byKey[k] = blk
+		bd.order = append(bd.order, blk)
+	}
+	blk.Blocks24 = append(blk.Blocks24, r.Block)
+}
+
+// Finish sorts every block's member list, assigns dense IDs in
+// first-seen order, and returns the aggregated blocks. The builder must
+// not be used after Finish.
+func (bd *Builder) Finish() []*Block {
+	for i, b := range bd.order {
 		iputil.SortBlocks(b.Blocks24)
 		b.ID = i
 	}
-	return order
+	return bd.order
 }
 
 // SizeHistogram tallies aggregate sizes in /24s — the series of Figure 5.

@@ -53,6 +53,17 @@ type Pipeline struct {
 	// assign exactly as they did when the fields lived on Pipeline
 	// directly; construction sites spell the nested literal.
 	Options
+	// StreamChunk, when > 0, runs the census as a zmap.Stream of
+	// StreamChunk-block chunks and pipelines it against the measurement
+	// campaign and incremental aggregation, instead of materializing
+	// each stage before the next begins. It is an execution strategy
+	// like the worker counts, not behaviour: every artifact and counter
+	// is byte-identical to a materialized run (DESIGN.md §4d), which is
+	// why it lives on Pipeline next to the other local resource-shaping
+	// fields rather than in the serializable Options. Use it when the
+	// block universe is large enough (100k+) that holding the full
+	// census and campaign intermediates would dominate memory.
+	StreamChunk int
 	// Terminator overrides the hierarchical-sufficiency rule (nil uses
 	// the MDA stopping rule; a confidence.Table reproduces Figure 4's).
 	Terminator hobbit.Terminator
@@ -136,6 +147,9 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 	if err := p.Options.Validate(); err != nil {
 		return nil, err
 	}
+	if p.StreamChunk > 0 {
+		return p.runStreamed(ctx)
+	}
 	reg := p.Telemetry
 	out := &Output{}
 
@@ -191,6 +205,14 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 	reg.Counter("aggregate.low_confidence_excluded").Add(int64(len(out.LowConfidence)))
 	reg.Counter("aggregate.blocks_out").Add(int64(len(out.Aggregates)))
 	span.End()
+	return p.finishRun(ctx, out, interner)
+}
+
+// finishRun executes the barrier-synchronized tail every run shape
+// shares — MCL clustering and reprobe validation need the complete
+// aggregate set, so the streamed and materialized paths converge here.
+func (p *Pipeline) finishRun(ctx context.Context, out *Output, interner *aggregate.Interner) (*Output, error) {
+	reg := p.Telemetry
 	if p.SkipClustering {
 		out.Final = out.Aggregates
 		return out, ctx.Err()
@@ -199,7 +221,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 		return out, err
 	}
 
-	span = reg.StartSpan(StageCluster)
+	span := reg.StartSpan(StageCluster)
 	pipe := &cluster.Pipeline{Seed: p.Seed, Workers: p.ClusterWorkers, Telemetry: reg}
 	out.Clustering = pipe.Run(out.Aggregates)
 	span.End()

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"github.com/hobbitscan/hobbit/internal/aggregate"
+	"github.com/hobbitscan/hobbit/internal/hobbit"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/zmap"
+)
+
+// runStreamed is Run with the census, measurement, and aggregation
+// stages pipelined: census chunks stream off zmap.Stream, a feeder
+// filters each chunk for eligibility and hands the eligible blocks —
+// with their chunk-local actives — to the campaign workers, and the
+// campaign's in-order result stream drives the incremental aggregation
+// builder. Block handout, MDA probing, and aggregation therefore overlap
+// in wall-clock time, while every ordering the materialized path relies
+// on is preserved: chunks arrive in block order, so the eligible list,
+// the campaign Order, the low-confidence exclusions, and the aggregation
+// grouping are byte-identical to Run's (TestPipelineStreamedIdentical
+// pins this). Clustering and validation still need the complete
+// aggregate set and run as barrier stages via finishRun.
+//
+// Peak memory is bounded by the stream window plus the campaign handout
+// window; the merged dataset and the campaign result are still retained,
+// because validation reprobes against the full census.
+func (p *Pipeline) runStreamed(ctx context.Context) (*Output, error) {
+	reg := p.Telemetry
+	out := &Output{}
+
+	// The pipelined stages overlap, so their spans do too: each span
+	// covers the window its stage was active in.
+	censusSpan := reg.StartSpan(StageCensus)
+	measureSpan := reg.StartSpan(StageMeasure)
+	p.setStage(StageMeasure)
+
+	// The stream's context is cancelled as soon as the campaign stops
+	// consuming (error or not), so scan workers never outlive the run.
+	sctx, cancelScan := context.WithCancel(ctx)
+	defer cancelScan()
+	chunks := zmap.Stream(sctx, p.Scanner, p.Blocks, zmap.StreamOptions{
+		Workers:   p.CensusWorkers,
+		ChunkSize: p.StreamChunk,
+		Telemetry: reg,
+	})
+
+	// The feeder owns dataset and eligible until feedWG.Wait below, then
+	// hands them to the collector goroutine (this one) with the Wait as
+	// the memory barrier.
+	dataset := zmap.NewDataset()
+	var eligible []iputil.Block24
+	feed := make(chan hobbit.FeedItem)
+	var feedWG sync.WaitGroup
+	feedWG.Add(1)
+	go func() {
+		defer feedWG.Done()
+		defer close(feed)
+		defer censusSpan.End() // idempotent; covers cancelled sweeps too
+		for c := range chunks {
+			dataset.MergeChunk(c)
+			for _, b := range c.Data.EligibleBlocks(c.Blocks, p.minActive()) {
+				eligible = append(eligible, b)
+				select {
+				case feed <- hobbit.FeedItem{Block: b, By26: c.Data.ActivesBy26(b)}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+		// The census stage ends when its last chunk has been handed
+		// over; the eligibility counter lands here, after the full
+		// universe was filtered, matching the materialized total.
+		reg.Counter("census.eligible_blocks").Add(int64(len(eligible)))
+		censusSpan.End()
+	}()
+
+	interner := aggregate.NewInterner()
+	builder := aggregate.NewBuilder(interner)
+	aggSpan := reg.StartSpan(StageAggregate)
+	homogeneousIn := 0
+	campaign := &hobbit.Campaign{
+		Measurer:  p.newMeasurer(false),
+		Workers:   p.Workers,
+		Telemetry: reg,
+		Progress:  p.Progress,
+		Stage:     StageMeasure,
+	}
+	res, cerr := campaign.RunStream(ctx, feed, func(br *hobbit.BlockResult) {
+		if !br.Class.Homogeneous() {
+			return
+		}
+		// Same graceful degradation as the materialized path:
+		// budget-exhausted verdicts are reported but kept out of
+		// aggregation, in campaign order.
+		if br.LowConfidence() {
+			out.LowConfidence = append(out.LowConfidence, br.Block)
+			return
+		}
+		homogeneousIn++
+		builder.Add(br)
+	})
+	cancelScan()
+	feedWG.Wait()
+	out.Dataset = dataset
+	out.Eligible = eligible
+	out.Campaign = res
+	measureSpan.End()
+	if cerr != nil {
+		aggSpan.End()
+		return out, cerr
+	}
+
+	out.Aggregates = builder.Finish()
+	reg.Counter("aggregate.homogeneous_in").Add(int64(homogeneousIn))
+	reg.Counter("aggregate.low_confidence_excluded").Add(int64(len(out.LowConfidence)))
+	reg.Counter("aggregate.blocks_out").Add(int64(len(out.Aggregates)))
+	aggSpan.End()
+	return p.finishRun(ctx, out, interner)
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/telemetry"
+)
+
+// marshalOutput serializes every deterministic artifact of a run the way
+// TestPipelineOutputDeterministic does, so streamed and materialized
+// runs can be compared byte for byte.
+func marshalOutput(t *testing.T, out *Output) []byte {
+	t.Helper()
+	j, err := json.Marshal(struct {
+		Eligible      interface{}
+		Campaign      interface{}
+		Aggregates    interface{}
+		LowConfidence interface{}
+		Validations   interface{}
+		Validated     interface{}
+		Final         interface{}
+	}{out.Eligible, out.Campaign.Order, out.Aggregates, out.LowConfidence,
+		out.Validations, out.Validated, out.Final})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestPipelineStreamedIdentical pins the tentpole invariant of the
+// streaming path: a pipelined run (census chunks feeding the campaign
+// feeding incremental aggregation) must produce byte-identical artifacts
+// — and an identical telemetry counter state — to the materialized
+// barrier-stage run, at 1 and 8 workers and across chunk sizes that do
+// and do not divide the universe.
+func TestPipelineStreamedIdentical(t *testing.T) {
+	run := func(streamChunk, workers int) ([]byte, *telemetry.Snapshot, *Output) {
+		_, p := testPipeline(t, 300)
+		reg := telemetry.NewRegistry()
+		p.Telemetry = reg
+		p.Workers = workers
+		p.CensusWorkers = workers
+		p.ClusterWorkers = workers
+		p.StreamChunk = streamChunk
+		out, err := p.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := reg.Snapshot()
+		return marshalOutput(t, out), &snap, out
+	}
+
+	wantJSON, wantSnap, wantOut := run(0, 4)
+	if len(wantOut.Eligible) == 0 || len(wantOut.Final) == 0 {
+		t.Fatal("materialized baseline produced no output")
+	}
+	for _, tc := range []struct {
+		name           string
+		chunk, workers int
+	}{
+		{"chunk=32/workers=1", 32, 1},
+		{"chunk=32/workers=8", 32, 8},
+		{"odd-chunk", 7, 8},
+		{"one-chunk", 1 << 20, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			gotJSON, gotSnap, gotOut := run(tc.chunk, tc.workers)
+			if !bytes.Equal(gotJSON, wantJSON) {
+				t.Errorf("streamed output differs from materialized:\n%.300s\n%.300s", gotJSON, wantJSON)
+			}
+			if !gotOut.Dataset.Equal(wantOut.Dataset) {
+				t.Error("streamed dataset differs from materialized")
+			}
+			if !reflect.DeepEqual(gotSnap.Counters, wantSnap.Counters) {
+				t.Errorf("counters differ:\nstreamed:     %v\nmaterialized: %v",
+					gotSnap.Counters, wantSnap.Counters)
+			}
+			if !reflect.DeepEqual(gotSnap.Histograms, wantSnap.Histograms) {
+				t.Error("histograms differ between streamed and materialized runs")
+			}
+		})
+	}
+}
+
+// TestPipelineStreamedCancel: cancelling a streamed run returns the
+// partial artifacts with ctx.Err and leaves no stage wedged.
+func TestPipelineStreamedCancel(t *testing.T) {
+	_, p := testPipeline(t, 200)
+	p.StreamChunk = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := p.Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled streamed run returned nil error")
+	}
+	if out == nil {
+		t.Fatal("cancelled streamed run returned nil output")
+	}
+}

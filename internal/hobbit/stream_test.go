@@ -1,0 +1,121 @@
+package hobbit
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
+)
+
+// feedBlocks pushes the blocks (with their dataset actives) through a
+// fresh feed channel the way the core pipeline's census feeder does.
+func feedBlocks(c *Campaign, blocks []iputil.Block24) <-chan FeedItem {
+	feed := make(chan FeedItem)
+	go func() {
+		defer close(feed)
+		for _, b := range blocks {
+			feed <- FeedItem{Block: b, By26: c.Dataset.ActivesBy26(b)}
+		}
+	}()
+	return feed
+}
+
+// TestRunStreamMatchesRun pins the streaming campaign's half of the
+// determinism contract: fed the same blocks Run is given, RunStream must
+// produce Run's exact Result — same verdicts, same Order — with the sink
+// observing results strictly in feed order, at any worker count.
+func TestRunStreamMatchesRun(t *testing.T) {
+	_, c, eligible := campaignWorld(t, 300)
+	if len(eligible) < 40 {
+		t.Fatalf("only %d eligible blocks", len(eligible))
+	}
+	regWant := telemetry.NewRegistry()
+	c.Workers, c.Telemetry = 4, regWant
+	want, err := c.Run(context.Background(), eligible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapWant := regWant.Snapshot()
+
+	for _, workers := range []int{1, 8} {
+		reg := telemetry.NewRegistry()
+		c.Workers, c.Telemetry = workers, reg
+		var sunk []iputil.Block24
+		got, err := c.RunStream(context.Background(), feedBlocks(c, eligible), func(br *BlockResult) {
+			sunk = append(sunk, br.Block)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Order, want.Order) {
+			t.Fatalf("workers=%d: Order differs from Run", workers)
+		}
+		if !reflect.DeepEqual(sunk, eligible) {
+			t.Fatalf("workers=%d: sink did not observe results in feed order", workers)
+		}
+		if len(got.Blocks) != len(want.Blocks) {
+			t.Fatalf("workers=%d: %d blocks, want %d", workers, len(got.Blocks), len(want.Blocks))
+		}
+		for b, br := range want.Blocks {
+			if !reflect.DeepEqual(got.Blocks[b], br) {
+				t.Fatalf("workers=%d: block %v result differs", workers, b)
+			}
+		}
+		snap := reg.Snapshot()
+		if !reflect.DeepEqual(snap.Counters, snapWant.Counters) {
+			t.Errorf("workers=%d: counters differ:\nstream: %v\nrun:    %v",
+				workers, snap.Counters, snapWant.Counters)
+		}
+		if !reflect.DeepEqual(snap.Histograms, snapWant.Histograms) {
+			t.Errorf("workers=%d: histograms differ", workers)
+		}
+	}
+}
+
+// TestRunStreamCancel: cancelling mid-campaign returns the emitted
+// prefix (in feed order) with ctx.Err, and the feeder is not wedged.
+func TestRunStreamCancel(t *testing.T) {
+	_, c, eligible := campaignWorld(t, 300)
+	c.Workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	feed := make(chan FeedItem)
+	go func() {
+		defer close(feed)
+		for i, b := range eligible {
+			if i == 10 {
+				cancel()
+			}
+			select {
+			case feed <- FeedItem{Block: b, By26: c.Dataset.ActivesBy26(b)}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	res, err := c.RunStream(ctx, feed, nil)
+	if err == nil {
+		t.Fatal("cancelled RunStream returned nil error")
+	}
+	for i, b := range res.Order {
+		if b != eligible[i] {
+			t.Fatalf("partial Order[%d] = %v, want %v", i, b, eligible[i])
+		}
+	}
+}
+
+// TestRunStreamEmptyFeed: a feed that closes without items completes
+// with an empty result.
+func TestRunStreamEmptyFeed(t *testing.T) {
+	_, c, _ := campaignWorld(t, 60)
+	feed := make(chan FeedItem)
+	close(feed)
+	res, err := c.RunStream(context.Background(), feed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 0 || len(res.Order) != 0 {
+		t.Fatalf("empty feed produced %d blocks", len(res.Blocks))
+	}
+}

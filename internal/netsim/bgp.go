@@ -27,8 +27,8 @@ func (w *World) BGPPrefixes() []iputil.Prefix {
 		}
 		runASN = -1
 	}
-	for _, b := range w.blockList {
-		asn := w.blocks[b].asn
+	for i, b := range w.blockList {
+		asn := int(w.recs[i].asn)
 		if runASN == asn && b >= runEnd && int(b-runEnd) <= gapTolerance {
 			runEnd = b
 			continue

@@ -262,28 +262,31 @@ func (w *World) buildPopulations(genRand *rand.Rand) error {
 			p := w.pops[seg.pop]
 			for j := 0; j < seg.size; j++ {
 				b := base + iputil.Block24(j)
-				rec := &blockRec{
-					entries: []entry{{prefix: iputil.PrefixOf(b.Base(), 24), pop: p.id}},
-					asn:     p.as.asn,
-					starved: p.starved,
+				rec := blockRec{asn: int32(p.as.asn)}
+				if p.starved {
+					rec.flags |= blockStarved
 				}
+				var future []entry
 				if !p.starved && p.big < 0 {
-					rec.lowActivity = genRand.Float64() < cfg.PLowActivity
+					if genRand.Float64() < cfg.PLowActivity {
+						rec.flags |= blockLowActivity
+					}
 					// Address exhaustion keeps splitting blocks: a
 					// few homogeneous /24s get sub-allocated to
 					// distinct customers at a later epoch (the
 					// longitudinal future work). Blocks worth
 					// splitting are in active use.
 					if genRand.Float64() < cfg.PEpochSplit {
-						rec.splitEpoch = 1 + genRand.Intn(6)
-						rec.futureEntries = w.splitEntries(b, p.as, 2016+rec.splitEpoch, genRand)
-						rec.lowActivity = false
+						rec.splitEpoch = uint8(1 + genRand.Intn(6))
+						future = w.splitEntries(b, p.as, 2016+int(rec.splitEpoch), genRand)
+						rec.flags &^= blockLowActivity
 					}
 				}
-				if p.rdnsKind == metadata.NameTimeWarner {
-					rec.twcVariant2 = genRand.Float64() < 0.2
+				if p.rdnsKind == metadata.NameTimeWarner && genRand.Float64() < 0.2 {
+					rec.flags |= blockTWCVariant2
 				}
-				w.addBlock(b, rec)
+				w.addBlock(b, rec,
+					[]entry{{prefix: iputil.PrefixOf(b.Base(), 24), pop: p.id}}, future)
 			}
 		}
 	}
@@ -344,8 +347,20 @@ func (w *World) splitSegments(p *pop, size int, genRand *rand.Rand) []segment {
 	return segs
 }
 
-func (w *World) addBlock(b iputil.Block24, rec *blockRec) {
-	w.blocks[b] = rec
+// addBlock registers one /24: its entries (and any future sub-allocation
+// entries) are appended to the shared entry arena, the record's index
+// fields are filled in, and the record joins the flat recs/blockList
+// pair (co-sorted by New once the build finishes).
+func (w *World) addBlock(b iputil.Block24, rec blockRec, entries, future []entry) {
+	rec.entryIdx = int32(len(w.entryArena))
+	rec.entryN = uint8(len(entries))
+	w.entryArena = append(w.entryArena, entries...)
+	if len(future) > 0 {
+		rec.futureIdx = int32(len(w.entryArena))
+		rec.futureN = uint8(len(future))
+		w.entryArena = append(w.entryArena, future...)
+	}
+	w.recs = append(w.recs, rec)
 	w.blockList = append(w.blockList, b)
 }
 
@@ -397,9 +412,8 @@ func (w *World) splitEntries(base iputil.Block24, as *asRec, regYear int, genRan
 
 // materializeHetero creates one heterogeneous /24 at base.
 func (w *World) materializeHetero(base iputil.Block24, as *asRec, genRand *rand.Rand) {
-	rec := &blockRec{asn: as.asn, hetero: true}
-	rec.entries = w.splitEntries(base, as, 2015, genRand)
-	w.addBlock(base, rec)
+	rec := blockRec{asn: int32(as.asn), flags: blockHetero}
+	w.addBlock(base, rec, w.splitEntries(base, as, 2015, genRand), nil)
 	w.heteroBlocks = append(w.heteroBlocks, base)
 }
 
@@ -437,23 +451,45 @@ func newAllocator(genRand *rand.Rand) *allocator {
 	return a
 }
 
-// nextArena jumps to the next shuffled arena; allocation regions start
-// here so they scatter over the whole space.
-func (a *allocator) nextArena() {
-	if a.arena+1 < len(a.arenas) {
-		a.arena++
-		a.cur = a.arenas[a.arena].lo
+// leave records the unused remainder of the current arena before moving
+// on, so a later wrap over the list hands the remainder out instead of
+// treating the arena as spent. Before remainders existed, every region's
+// arena jump burned the arena's unused tail, and a million-block world
+// exhausted the address space with most of it never allocated.
+func (a *allocator) leave() {
+	sp := &a.arenas[a.arena]
+	if a.cur > sp.lo {
+		sp.lo = a.cur // may exceed hi: the arena is then empty
 	}
 }
+
+// next moves to the next arena, wrapping past the end of the shuffled
+// list back to the recorded remainders.
+func (a *allocator) next() {
+	a.leave()
+	a.arena++
+	if a.arena >= len(a.arenas) {
+		a.arena = 0
+	}
+	a.cur = a.arenas[a.arena].lo
+}
+
+// nextArena jumps to the next shuffled arena; allocation regions start
+// here so they scatter over the whole space. Worlds small enough that
+// fresh arenas never run out — every world that built before wrapping
+// existed — allocate identically, because wrapping only changes where
+// the allocator lands after the list is spent.
+func (a *allocator) nextArena() { a.next() }
 
 var errExhausted = errors.New("netsim: /24 address space exhausted")
 
 // take skips gapBefore /24s and then returns the base of a run of size
 // contiguous /24s, spilling into the next arena when the current one is
-// full.
+// full. A full cycle over the list without a fit means no remainder can
+// hold the run: the space is genuinely exhausted.
 func (a *allocator) take(size, gapBefore int) (iputil.Block24, error) {
 	a.cur += uint32(gapBefore)
-	for a.arena < len(a.arenas) {
+	for tries := 0; tries <= len(a.arenas); tries++ {
 		sp := a.arenas[a.arena]
 		if a.cur < sp.lo {
 			a.cur = sp.lo
@@ -463,10 +499,7 @@ func (a *allocator) take(size, gapBefore int) (iputil.Block24, error) {
 			a.cur += uint32(size)
 			return base, nil
 		}
-		a.arena++
-		if a.arena < len(a.arenas) {
-			a.cur = a.arenas[a.arena].lo
-		}
+		a.next()
 	}
 	return 0, errExhausted
 }

@@ -37,8 +37,8 @@ func (w *World) popDown(p *pop) bool {
 // TrueOutage reports whether the block's aggregate is dark at the current
 // epoch (ground truth for outage-tracking experiments).
 func (w *World) TrueOutage(b iputil.Block24) bool {
-	rec, ok := w.blocks[b]
-	if !ok {
+	rec := w.rec(b)
+	if rec == nil {
 		return false
 	}
 	for _, e := range w.activeEntries(rec) {
@@ -76,15 +76,15 @@ func (w *World) epochKey(a iputil.Addr) uint64 {
 // splitAt reports whether the block's pending sub-allocation split has
 // happened by the current epoch.
 func (rec *blockRec) splitAt(epoch int) bool {
-	return rec.splitEpoch > 0 && epoch >= rec.splitEpoch
+	return rec.splitEpoch > 0 && epoch >= int(rec.splitEpoch)
 }
 
 // activeEntries returns the route entries in force at the current epoch.
 func (w *World) activeEntries(rec *blockRec) []entry {
 	if rec.splitAt(w.epoch) {
-		return rec.futureEntries
+		return w.futureOf(rec)
 	}
-	return rec.entries
+	return w.entriesOf(rec)
 }
 
 // --- Subscriber model (DHCP re-addressing) ---
@@ -149,8 +149,8 @@ func (w *World) popActives(p *pop) []iputil.Addr {
 	w.epochMu.Unlock()
 
 	var out []iputil.Addr
-	for _, b := range w.blockList {
-		rec := w.blocks[b]
+	for i := range w.blockList {
+		rec := &w.recs[i]
 		for _, e := range w.activeEntries(rec) {
 			if e.pop != p.id {
 				continue
@@ -205,9 +205,9 @@ func (w *World) popPerm(p *pop, n int) []int {
 // sub-allocations at a later epoch, with the epoch each splits at.
 func (w *World) FutureSplitters() map[iputil.Block24]int {
 	out := make(map[iputil.Block24]int)
-	for b, rec := range w.blocks {
-		if rec.splitEpoch > 0 {
-			out[b] = rec.splitEpoch
+	for i, b := range w.blockList {
+		if e := w.recs[i].splitEpoch; e > 0 {
+			out[b] = int(e)
 		}
 	}
 	return out

@@ -13,9 +13,10 @@ func (w *World) populateMetadata() {
 	for _, a := range w.ases {
 		w.geo.AddAS(metadata.ASInfo{ASN: a.asn, Org: a.org, Country: a.country, Type: a.otype})
 	}
-	for b, rec := range w.blocks {
-		w.geo.Assign(b, rec.asn)
-		p := w.pops[rec.entries[0].pop]
+	for i, b := range w.blockList {
+		rec := &w.recs[i]
+		w.geo.Assign(b, int(rec.asn))
+		p := w.pops[w.entriesOf(rec)[0].pop]
 		if p.big >= 0 {
 			w.geo.AssignCity(b, w.cfg.BigBlocks[p.big].City)
 		}
@@ -31,8 +32,8 @@ func (w *World) RDNSName(a iputil.Addr) (string, bool) {
 		r := w.routers[a-routerSpaceBase]
 		return metadata.GenerateName(metadata.NameRouter, a, r.region, int(a)), true
 	}
-	rec, ok := w.blocks[a.Block24()]
-	if !ok {
+	rec := w.rec(a.Block24())
+	if rec == nil {
 		return "", false
 	}
 	var p *pop
@@ -52,7 +53,7 @@ func (w *World) RDNSName(a iputil.Addr) (string, bool) {
 		// Some blocks host a second naming scheme (the paper's
 		// stratified sample misses 27% of patterns because blocks can
 		// contain several).
-		if rec.twcVariant2 && rng.Bool(0.5, w.seed, uint64(a), saltTWCVar) {
+		if rec.twcVariant2() && rng.Bool(0.5, w.seed, uint64(a), saltTWCVar) {
 			variant++
 		}
 	case metadata.NameCoxBusiness:

@@ -35,27 +35,13 @@ type ProbeReply struct {
 
 func (w *World) activityMean(rec *blockRec) float64 {
 	switch {
-	case rec.starved:
+	case rec.starved():
 		return w.cfg.ActiveMeanStarved
-	case rec.lowActivity:
+	case rec.lowActivity():
 		return w.cfg.ActiveMeanLow
 	default:
 		return w.cfg.ActiveMeanHigh
 	}
-}
-
-// rate26 returns the per-host activity probability within the /26 holding
-// quarter q of block b. The noisy draw is precomputed per (block, quarter)
-// at build time (see precompute), so census-time lookups touch no
-// floating-point transcendentals.
-//
-//hobbit:hotpath
-func (w *World) rate26(b iputil.Block24, q int) float64 {
-	rec, ok := w.blocks[b]
-	if !ok {
-		return 0
-	}
-	return rec.rate26[q]
 }
 
 // buildRate26 derives the activity rate stored in blockRec.rate26; kept
@@ -81,10 +67,20 @@ func (w *World) buildRate26(b iputil.Block24, rec *blockRec, q int) float64 {
 //
 //hobbit:hotpath
 func (w *World) ScanActive(a iputil.Addr) bool {
-	rate := w.rate26(a.Block24(), a.Block26())
-	if rate == 0 {
+	rec := w.rec(a.Block24())
+	if rec == nil {
 		return false
 	}
+	return w.scanActiveRec(rec, a)
+}
+
+// scanActiveRec is ScanActive with the block record already resolved
+// (rates are clamped ≥ 0.15/64 at build time, so a present record always
+// has a non-zero rate — the zero-rate guard is the nil-record case).
+//
+//hobbit:hotpath
+func (w *World) scanActiveRec(rec *blockRec, a iputil.Addr) bool {
+	rate := rec.rate26[a.Block26()]
 	active := rng.Bool(rate, w.seed, uint64(a), saltActive)
 	if w.epoch > 0 && w.cfg.EpochChurn > 0 {
 		if active {
@@ -111,8 +107,20 @@ func (w *World) ScanActive(a iputil.Addr) bool {
 //
 //hobbit:hotpath
 func (w *World) persists(a iputil.Addr) bool {
+	rec := w.rec(a.Block24())
 	p := w.cfg.PersistProb
-	if rec, ok := w.blocks[a.Block24()]; ok && rec.lowActivity {
+	if rec != nil && rec.lowActivity() {
+		p = w.cfg.PersistProbLow
+	}
+	return rng.Bool(p, w.seed, w.epochKey(a), saltPersist)
+}
+
+// persistsRec is persists with the block record already resolved.
+//
+//hobbit:hotpath
+func (w *World) persistsRec(rec *blockRec, a iputil.Addr) bool {
+	p := w.cfg.PersistProb
+	if rec.lowActivity() {
 		p = w.cfg.PersistProbLow
 	}
 	return rng.Bool(p, w.seed, w.epochKey(a), saltPersist)
@@ -124,11 +132,22 @@ func (w *World) persists(a iputil.Addr) bool {
 //
 //hobbit:hotpath
 func (w *World) RespondsNow(a iputil.Addr) bool {
-	if !w.ScanActive(a) || !w.persists(a) {
+	rec := w.rec(a.Block24())
+	if rec == nil {
+		return false
+	}
+	return w.respondsNowRec(rec, a)
+}
+
+// respondsNowRec is RespondsNow with the block record already resolved.
+//
+//hobbit:hotpath
+func (w *World) respondsNowRec(rec *blockRec, a iputil.Addr) bool {
+	if !w.scanActiveRec(rec, a) || !w.persistsRec(rec, a) {
 		return false
 	}
 	if w.epoch > 0 {
-		if p, ok := w.popOf(a); ok && w.popDown(p) {
+		if p, ok := w.popOfRec(rec, a); ok && w.popDown(p) {
 			return false
 		}
 	}
@@ -141,10 +160,14 @@ func (w *World) RespondsNow(a iputil.Addr) bool {
 //
 //hobbit:hotpath
 func (w *World) ScanPing(a iputil.Addr) bool {
-	if _, ok := w.popOf(a); !ok {
+	rec := w.rec(a.Block24())
+	if rec == nil {
 		return false
 	}
-	return w.ScanActive(a)
+	if _, ok := w.popOfRec(rec, a); !ok {
+		return false
+	}
+	return w.scanActiveRec(rec, a)
 }
 
 var defaultTTLs = [3]int{64, 128, 255}
@@ -223,8 +246,8 @@ func (w *World) precompute() {
 	for _, p := range w.pops {
 		p.rtt = w.buildRTTProfile(p)
 	}
-	for _, b := range w.blockList {
-		rec := w.blocks[b]
+	for i, b := range w.blockList {
+		rec := &w.recs[i]
 		for q := 0; q < 4; q++ {
 			rec.rate26[q] = w.buildRate26(b, rec, q)
 		}
@@ -239,8 +262,12 @@ func (w *World) precompute() {
 //
 //hobbit:hotpath
 func (w *World) Ping(dst iputil.Addr, seq int) (ProbeReply, bool) {
-	p, routed := w.popOf(dst)
-	if !routed || !w.RespondsNow(dst) {
+	rec := w.rec(dst.Block24())
+	if rec == nil {
+		return ProbeReply{}, false
+	}
+	p, routed := w.popOfRec(rec, dst)
+	if !routed || !w.respondsNowRec(rec, dst) {
 		return ProbeReply{}, false
 	}
 	if w.faultBlackholed(dst) {
@@ -305,7 +332,8 @@ func (w *World) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) Prob
 		// toward an unallocated destination.
 		return ProbeReply{}
 	}
-	if !w.RespondsNow(dst) || w.faultBlackholed(dst) {
+	rec := w.rec(dst.Block24())
+	if rec == nil || !w.respondsNowRec(rec, dst) || w.faultBlackholed(dst) {
 		return ProbeReply{}
 	}
 	if rng.Bool(w.faultPingLoss(0), w.seed, uint64(dst), uint64(ttl), uint64(salt), saltLoss) {
@@ -320,6 +348,6 @@ func (w *World) Probe(dst iputil.Addr, ttl int, flowID uint16, salt uint32) Prob
 	if respTTL < 1 {
 		respTTL = 1
 	}
-	p, _ := w.popOf(dst)
+	p, _ := w.popOfRec(rec, dst)
 	return ProbeReply{Kind: EchoReply, RespTTL: respTTL, RTT: w.rttProfile(p).RTT(w.seed, dst, int(salt))}
 }

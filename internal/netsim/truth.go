@@ -8,18 +8,18 @@ import (
 // epoch: true unless the block carries (or has grown) split route
 // entries. known is false for blocks outside the universe.
 func (w *World) TrueHomogeneous(b iputil.Block24) (homogeneous, known bool) {
-	rec, ok := w.blocks[b]
-	if !ok {
+	rec := w.rec(b)
+	if rec == nil {
 		return false, false
 	}
-	return !rec.hetero && !rec.splitAt(w.epoch), true
+	return !rec.hetero() && !rec.splitAt(w.epoch), true
 }
 
 // TrueEntries returns the planted route-entry prefixes covering the block
 // at the current epoch (a single /24 for homogeneous blocks).
 func (w *World) TrueEntries(b iputil.Block24) []iputil.Prefix {
-	rec, ok := w.blocks[b]
-	if !ok {
+	rec := w.rec(b)
+	if rec == nil {
 		return nil
 	}
 	entries := w.activeEntries(rec)
@@ -34,11 +34,11 @@ func (w *World) TrueEntries(b iputil.Block24) []iputil.Prefix {
 // with the same identifier are truly co-located behind the same last-hop
 // routers. ok is false for heterogeneous or unknown blocks.
 func (w *World) TrueAggregate(b iputil.Block24) (int32, bool) {
-	rec, found := w.blocks[b]
-	if !found || rec.hetero || rec.splitAt(w.epoch) {
+	rec := w.rec(b)
+	if rec == nil || rec.hetero() || rec.splitAt(w.epoch) {
 		return 0, false
 	}
-	return rec.entries[0].pop, true
+	return w.entriesOf(rec)[0].pop, true
 }
 
 // AggregateBlocks returns the sorted /24s of a pop at the current epoch.
@@ -65,39 +65,39 @@ func (w *World) HeteroBlocks() []iputil.Block24 {
 // IsStarved reports whether the block belongs to an observation-starved
 // aggregate.
 func (w *World) IsStarved(b iputil.Block24) bool {
-	rec, ok := w.blocks[b]
-	return ok && rec.starved
+	rec := w.rec(b)
+	return rec != nil && rec.starved()
 }
 
 // TrueLastHopCardinality returns the planted number of last-hop routers
 // (K) serving the block's first route entry; 0 for unknown blocks.
 func (w *World) TrueLastHopCardinality(b iputil.Block24) int {
-	rec, ok := w.blocks[b]
-	if !ok {
+	rec := w.rec(b)
+	if rec == nil {
 		return 0
 	}
-	return len(w.pops[rec.entries[0].pop].lastHops)
+	return len(w.pops[w.entriesOf(rec)[0].pop].lastHops)
 }
 
 // FlowDivergentLast reports whether the block's pop hashes flow fields
 // into its last-hop choice (per-flow paths toward one address may end at
 // different last hops).
 func (w *World) FlowDivergentLast(b iputil.Block24) bool {
-	rec, ok := w.blocks[b]
-	if !ok {
+	rec := w.rec(b)
+	if rec == nil {
 		return false
 	}
-	return w.pops[rec.entries[0].pop].flowDiv
+	return w.pops[w.entriesOf(rec)[0].pop].flowDiv
 }
 
 // UnresponsiveLastHop reports whether the block's pop has last-hop routers
 // that never answer probes.
 func (w *World) UnresponsiveLastHop(b iputil.Block24) bool {
-	rec, ok := w.blocks[b]
-	if !ok {
+	rec := w.rec(b)
+	if rec == nil {
 		return false
 	}
-	return w.pops[rec.entries[0].pop].unresp
+	return w.pops[w.entriesOf(rec)[0].pop].unresp
 }
 
 // BigBlockPops returns, for each named planted aggregate, the pop

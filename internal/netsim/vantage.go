@@ -105,8 +105,8 @@ func (vt *Vantage) ScanPing(a iputil.Addr) bool { return vt.w.ScanPing(a) }
 // SrcSensitive reports whether the block's per-destination load balancers
 // hash the source address (ground truth for the multi-vantage ablation).
 func (w *World) SrcSensitive(b iputil.Block24) bool {
-	rec, ok := w.blocks[b]
-	if !ok {
+	rec := w.rec(b)
+	if rec == nil {
 		return false
 	}
 	return w.pops[w.activeEntries(rec)[0].pop].srcSens

@@ -22,8 +22,20 @@ type World struct {
 	ases    []*asRec
 	pops    []*pop
 
-	blocks    map[iputil.Block24]*blockRec
-	blockList []iputil.Block24 // sorted universe
+	// Per-block state is flat: recs[i] describes blockList[i], with the
+	// two kept sorted in lockstep, and every route entry of every block
+	// lives in one shared arena the records index into. A /16-bucketed
+	// offset table narrows lookups to one bucket's worth of binary
+	// search. The layout holds a million-block universe in three large
+	// allocations instead of millions of small heap objects (map buckets,
+	// per-block records, per-block entry slices), which is what lets the
+	// census scale to the paper's full-address-space sweeps.
+	recs       []blockRec
+	blockList  []iputil.Block24 // sorted universe
+	entryArena []entry
+	// idx16[h] is the index in blockList of the first block whose /16
+	// equals h; idx16 has 1<<16+1 elements so idx16[h+1] closes bucket h.
+	idx16 []int32
 
 	// srcHops holds the access-router pair of each vantage point.
 	srcHops [][2]routerID
@@ -109,20 +121,69 @@ type entry struct {
 	pop    int32
 }
 
+// blockRec flags (see the accessor methods below).
+const (
+	blockLowActivity = 1 << iota
+	blockStarved
+	blockHetero
+	blockTWCVariant2 // block hosts a second Time Warner naming scheme
+)
+
+// blockRec is the per-/24 record: 48 bytes of plain values, no pointers.
+// Route entries live in World.entryArena; entryIdx/entryN (and, for
+// scheduled splits, futureIdx/futureN) address the block's slice of it.
 type blockRec struct {
-	entries     []entry
-	asn         int
-	lowActivity bool
-	starved     bool
-	hetero      bool
-	twcVariant2 bool // block hosts a second Time Warner naming scheme
+	entryIdx  int32
+	futureIdx int32
+	asn       int32
+	entryN    uint8
+	futureN   uint8
 	// splitEpoch > 0 schedules an address-exhaustion-driven split: from
-	// that epoch on, futureEntries (sub-allocations) replace entries.
-	splitEpoch    int
-	futureEntries []entry
+	// that epoch on, the future entries (sub-allocations) replace entries.
+	splitEpoch uint8
+	flags      uint8
 	// rate26 holds the per-/26 activity rates, precomputed at build time
 	// (see buildRate26 in reply.go).
 	rate26 [4]float64
+}
+
+func (rec *blockRec) lowActivity() bool { return rec.flags&blockLowActivity != 0 }
+func (rec *blockRec) starved() bool     { return rec.flags&blockStarved != 0 }
+func (rec *blockRec) hetero() bool      { return rec.flags&blockHetero != 0 }
+func (rec *blockRec) twcVariant2() bool { return rec.flags&blockTWCVariant2 != 0 }
+
+// rec returns the block's record, or nil for blocks outside the universe.
+// The /16 bucket bounds the binary search to at most 256 candidates, so
+// the probe hot path pays a handful of cache-resident compares instead of
+// a map lookup, and allocates nothing.
+//
+//hobbit:hotpath
+func (w *World) rec(b iputil.Block24) *blockRec {
+	h := b >> 8
+	lo, hi := w.idx16[h], w.idx16[h+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case w.blockList[mid] < b:
+			lo = mid + 1
+		case w.blockList[mid] > b:
+			hi = mid
+		default:
+			return &w.recs[mid]
+		}
+	}
+	return nil
+}
+
+// entriesOf returns the block's original route entries (in force before
+// any scheduled split).
+func (w *World) entriesOf(rec *blockRec) []entry {
+	return w.entryArena[rec.entryIdx : rec.entryIdx+int32(rec.entryN)]
+}
+
+// futureOf returns the sub-allocation entries a scheduled split installs.
+func (w *World) futureOf(rec *blockRec) []entry {
+	return w.entryArena[rec.futureIdx : rec.futureIdx+int32(rec.futureN)]
 }
 
 // New builds a world from the configuration. Building is deterministic in
@@ -132,19 +193,19 @@ func New(cfg Config) (*World, error) {
 		return nil, err
 	}
 	w := &World{
-		cfg:    cfg,
-		seed:   cfg.Seed,
-		blocks: make(map[iputil.Block24]*blockRec, cfg.NumBlocks),
-		geo:    metadata.NewGeoDB(),
-		whois:  metadata.NewWhois(),
+		cfg:   cfg,
+		seed:  cfg.Seed,
+		geo:   metadata.NewGeoDB(),
+		whois: metadata.NewWhois(),
 	}
 	genRand := rand.New(rand.NewSource(int64(cfg.Seed)))
 	w.buildTopologyCore(genRand)
 	if err := w.buildPopulations(genRand); err != nil {
 		return nil, err
 	}
+	sort.Sort(blockSorter{w})
+	w.buildIdx16()
 	w.populateMetadata()
-	sort.Slice(w.blockList, func(i, j int) bool { return w.blockList[i] < w.blockList[j] })
 	w.precompute()
 	if !cfg.DisableRouteCache {
 		w.routes = newRouteCache()
@@ -178,10 +239,19 @@ func (w *World) Geo() *metadata.GeoDB { return w.geo }
 func (w *World) Whois() *metadata.Whois { return w.whois }
 
 func (w *World) popOf(a iputil.Addr) (*pop, bool) {
-	rec, ok := w.blocks[a.Block24()]
-	if !ok {
+	rec := w.rec(a.Block24())
+	if rec == nil {
 		return nil, false
 	}
+	return w.popOfRec(rec, a)
+}
+
+// popOfRec is popOf with the block record already resolved; the reply
+// hot paths look a record up once per call and thread it through these
+// …Rec variants instead of re-searching the block index per predicate.
+//
+//hobbit:hotpath
+func (w *World) popOfRec(rec *blockRec, a iputil.Addr) (*pop, bool) {
 	entries := w.activeEntries(rec)
 	for i := range entries {
 		if entries[i].prefix.Contains(a) {
@@ -192,6 +262,30 @@ func (w *World) popOf(a iputil.Addr) (*pop, bool) {
 }
 
 func (w *World) routerAddr(id routerID) iputil.Addr { return w.routers[id].addr }
+
+// blockSorter co-sorts blockList and recs by block so the two stay
+// parallel; entry-arena indices are positional and unaffected by the sort.
+type blockSorter struct{ w *World }
+
+func (s blockSorter) Len() int           { return len(s.w.blockList) }
+func (s blockSorter) Less(i, j int) bool { return s.w.blockList[i] < s.w.blockList[j] }
+func (s blockSorter) Swap(i, j int) {
+	s.w.blockList[i], s.w.blockList[j] = s.w.blockList[j], s.w.blockList[i]
+	s.w.recs[i], s.w.recs[j] = s.w.recs[j], s.w.recs[i]
+}
+
+// buildIdx16 derives the /16 bucket offsets from the sorted blockList.
+func (w *World) buildIdx16() {
+	w.idx16 = make([]int32, (1<<16)+1)
+	pos := 0
+	for h := 0; h < 1<<16; h++ {
+		w.idx16[h] = int32(pos)
+		for pos < len(w.blockList) && w.blockList[pos]>>8 == iputil.Block24(h) {
+			pos++
+		}
+	}
+	w.idx16[1<<16] = int32(pos)
+}
 
 func (w *World) checkInvariants() error {
 	check := func(b iputil.Block24, entries []entry) error {
@@ -207,12 +301,13 @@ func (w *World) checkInvariants() error {
 		}
 		return nil
 	}
-	for b, rec := range w.blocks {
-		if err := check(b, rec.entries); err != nil {
+	for i, b := range w.blockList {
+		rec := &w.recs[i]
+		if err := check(b, w.entriesOf(rec)); err != nil {
 			return err
 		}
 		if rec.splitEpoch > 0 {
-			if err := check(b, rec.futureEntries); err != nil {
+			if err := check(b, w.futureOf(rec)); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,212 @@
+package zmap
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/telemetry"
+)
+
+// Chunk is one block-ordered slice of a streaming census: the blocks it
+// covers (a contiguous run of the sweep's input) and the activity
+// recorded for them. Start is the index of Blocks[0] in the input slice.
+type Chunk struct {
+	Start  int
+	Blocks []iputil.Block24
+	Data   *Dataset
+}
+
+// StreamOptions configures a streaming census sweep.
+type StreamOptions struct {
+	// Workers bounds the sweep's concurrency (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// ChunkSize is the number of blocks per emitted chunk (0 = 1024).
+	ChunkSize int
+	// Window bounds the chunks in flight — claimed by a worker but not
+	// yet received by the consumer (0 = 2× workers, minimum 2). The
+	// sweep's peak memory is one Dataset per in-flight chunk, so the
+	// window is what keeps a million-block census from materializing.
+	Window int
+	// Telemetry receives the "census.…" counters; nil disables them.
+	Telemetry *telemetry.Registry
+}
+
+func (o StreamOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o StreamOptions) chunkSize() int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	return 1024
+}
+
+func (o StreamOptions) window(workers int) int {
+	w := o.Window
+	if w <= 0 {
+		w = 2 * workers
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// Stream sweeps the blocks like ScanWith but emits the dataset as
+// block-ordered chunks over the returned channel instead of materializing
+// the full sweep. Workers claim chunk indices from a shared cursor and
+// scan into index-addressed slots; a single emitter then applies the
+// census counters and sends each chunk strictly in input order, so the
+// concatenated chunks — and every counter — are byte-identical to a
+// ScanWith over the same blocks at any worker count
+// (TestStreamMatchesScanWith pins this).
+//
+// A worker may only claim a chunk after taking a window token, and the
+// emitter returns the token once the consumer has received the chunk, so
+// at most Window chunk datasets exist at a time: a slow consumer stalls
+// the sweep instead of buffering it.
+//
+// The channel is closed when the sweep completes or ctx is cancelled;
+// on cancellation the already-scanned prefix may be partially emitted.
+func Stream(ctx context.Context, s Scanner, blocks []iputil.Block24, opts StreamOptions) <-chan Chunk {
+	out := make(chan Chunk)
+	go func() {
+		defer close(out)
+		n := len(blocks)
+		if n == 0 {
+			return
+		}
+		cs := opts.chunkSize()
+		nc := (n + cs - 1) / cs
+		workers := opts.workers()
+		if workers > nc {
+			workers = nc
+		}
+
+		slots := make([]*Dataset, nc)
+		ready := make([]chan struct{}, nc)
+		for i := range ready {
+			ready[i] = make(chan struct{})
+		}
+		// gate holds one token per in-flight chunk; workers must place a
+		// token before claiming a chunk and the emitter removes it after
+		// the consumer receives the chunk.
+		gate := make(chan struct{}, opts.window(workers))
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case gate <- struct{}{}:
+					case <-ctx.Done():
+						return
+					}
+					i := int(cursor.Add(1)) - 1
+					if i >= nc {
+						return
+					}
+					lo := i * cs
+					hi := lo + cs
+					if hi > n {
+						hi = n
+					}
+					slots[i] = scanChunk(s, blocks[lo:hi])
+					close(ready[i])
+				}
+			}()
+		}
+		defer wg.Wait()
+
+		reg := opts.Telemetry
+		scanPings := reg.Counter("census.scan_pings")
+		responders := reg.Counter("census.responders")
+		activeBlocks := reg.Counter("census.active_blocks")
+		activePerBlock := reg.Histogram("census.active_per_block", []int64{4, 16, 64, 256})
+		for i := 0; i < nc; i++ {
+			select {
+			case <-ready[i]:
+			case <-ctx.Done():
+				return
+			}
+			d := slots[i]
+			slots[i] = nil
+			lo := i * cs
+			hi := lo + cs
+			if hi > n {
+				hi = n
+			}
+			chunkBlocks := blocks[lo:hi]
+			for _, b := range chunkBlocks {
+				scanPings.Add(256)
+				if active := d.ActiveCount(b); active > 0 {
+					responders.Add(int64(active))
+					activeBlocks.Inc()
+					activePerBlock.Observe(int64(active))
+				}
+			}
+			select {
+			case out <- Chunk{Start: lo, Blocks: chunkBlocks, Data: d}:
+				<-gate
+			case <-ctx.Done():
+				return
+			}
+		}
+		// Match the pool accounting of a completed ScanWith fan-out, so
+		// a streamed and a materialized census leave identical telemetry
+		// snapshots. Cancelled sweeps return above and, like cancelled
+		// ForEach runs, go uncounted.
+		reg.Counter("census.parallel_items").Add(int64(n))
+		reg.Counter("census.parallel_runs").Inc()
+	}()
+	return out
+}
+
+// scanChunk sweeps one contiguous run of blocks serially into a fresh
+// dataset — the per-chunk unit of work a Stream worker performs.
+func scanChunk(s Scanner, blocks []iputil.Block24) *Dataset {
+	d := NewDataset()
+	for _, b := range blocks {
+		var bm [4]uint64
+		for j := 0; j < 256; j++ {
+			if s.ScanPing(b.Addr(j)) {
+				bm[j>>6] |= 1 << uint(j&63)
+			}
+		}
+		if bm != ([4]uint64{}) {
+			cp := bm
+			d.active[b] = &cp
+		}
+	}
+	return d
+}
+
+// MergeChunk folds a streamed chunk into the dataset. Chunks of one
+// stream cover disjoint blocks, so merging every chunk of a sweep (in any
+// order) reproduces the ScanWith dataset exactly.
+func (d *Dataset) MergeChunk(c Chunk) {
+	for _, b := range c.Blocks {
+		if bm, ok := c.Data.active[b]; ok {
+			d.active[b] = bm
+		}
+	}
+}
+
+// Collect drains a stream into one dataset — the materializing consumer,
+// used where the streamed and swept forms must be interchangeable.
+func Collect(ch <-chan Chunk) *Dataset {
+	d := NewDataset()
+	for c := range ch {
+		d.MergeChunk(c)
+	}
+	return d
+}

@@ -12,7 +12,11 @@
 #   clustering/validation pools, and the telemetry registry all share
 #   memory across goroutines), so a separate non-race leg would only
 #   repeat the same assertions. -count=1 defeats the test cache so the
-#   gate always executes, never replays;
+#   gate always executes, never replays; -shuffle=on randomizes test
+#   order each run, so hidden inter-test state (a package-level cache
+#   warmed by an earlier test, say) surfaces as a flake here instead of
+#   an ordering accident that only breaks when someone adds a test —
+#   the seed is printed on failure for reproduction with -shuffle=SEED;
 # - the fault-injection layer and the accuracy harness carry a coverage
 #   floor: they are the safety net that catches inference regressions in
 #   everything else, so untested paths there silently weaken every other
@@ -24,7 +28,7 @@ test -z "$(gofmt -l . | tee /dev/stderr)"
 go vet ./...
 go build ./...
 go run ./cmd/hobbitlint ./...
-go test -race -count=1 ./...
+go test -race -count=1 -shuffle=on ./...
 
 for pkg in ./internal/faultplan ./internal/harness; do
     cov=$(go test -short -count=1 -cover "$pkg" | tee /dev/stderr \
