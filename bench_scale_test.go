@@ -1,10 +1,12 @@
-// Scale benchmarks: the 100k-block census and pipelined campaign legs
-// that BENCH_SCALE.json gates in CI (the bench-scale job; see ci.yml and
+// Scale benchmarks: the 100k-block census, pipelined campaign,
+// isolated clustering, and full streamed-pipeline legs that
+// BENCH_SCALE.json gates in CI (the bench-scale job; see ci.yml and
 // cmd/benchdiff for the refresh procedure). Beyond ns/op and B/op these
 // legs guard peak heap: the streaming census must hold chunks, not the
-// universe, so a regression that re-materializes per-block state shows
-// up here as a ceiling breach long before it shows up as an OOM at 1M
-// blocks.
+// universe, and the streaming clusterer must hold component snapshots,
+// not the pairwise graph, so a regression that re-materializes
+// per-block state shows up here as a ceiling breach long before it
+// shows up as an OOM at 1M blocks.
 //
 // Run with: go test -run xxx -bench '^BenchmarkScale$' -benchtime=1x -count=3 -benchmem .
 package hobbit
@@ -18,7 +20,10 @@ import (
 	"testing"
 	"time"
 
+	"github.com/hobbitscan/hobbit/internal/aggregate"
+	"github.com/hobbitscan/hobbit/internal/cluster"
 	"github.com/hobbitscan/hobbit/internal/core"
+	"github.com/hobbitscan/hobbit/internal/iputil"
 	"github.com/hobbitscan/hobbit/internal/netsim"
 	"github.com/hobbitscan/hobbit/internal/probe"
 	"github.com/hobbitscan/hobbit/internal/zmap"
@@ -31,13 +36,20 @@ const scaleBlocks = 100_000
 
 // Peak-heap ceilings, in bytes, for the scale legs — checked-in budgets
 // the same way BENCH_SCALE.json pins wall clock. Measured peaks (world +
-// streamed run) are ~50 MB for the census leg and ~120 MB for the full
-// pipeline; the ~2.5x headroom absorbs GC timing and host variance,
-// while a change that rematerializes per-block state (the census used to
-// allocate millions of record pointers) blows through it immediately.
+// streamed run): ~50 MB census, ~130 MB pipeline, ~230 MB isolated
+// clustering (100k aggregates with per-component MCL snapshots in
+// flight), ~145 MB full streamed run; the ~2.5x headroom absorbs GC
+// timing and host variance, while a change that rematerializes
+// per-block state (the census used to allocate millions of record
+// pointers) blows through it immediately. The clustering legs guard the
+// streaming clusterer the same way: the incremental graph plus
+// sealed-component snapshots must stay a small multiple of the
+// aggregate count, never quadratic in it.
 const (
 	scaleCensusHeapCeiling   = 128 << 20
 	scalePipelineHeapCeiling = 320 << 20
+	scaleClusterHeapCeiling  = 512 << 20
+	scaleFullHeapCeiling     = 384 << 20
 )
 
 // scaleChunk is the stream chunk size used by both legs; at 100k blocks
@@ -187,4 +199,114 @@ func BenchmarkScale(b *testing.B) {
 		b.ReportMetric(float64(eligible), "eligible-blocks")
 		b.ReportMetric(float64(final), "final-blocks")
 	})
+
+	b.Run(fmt.Sprintf("cluster-%dk-aggregates", scaleBlocks/1000), func(b *testing.B) {
+		// The clustering stage in isolation at 100k aggregates: the
+		// incremental graph build over the inverted index plus
+		// per-component MCL at every sweep inflation. The input is the
+		// similarity-graph shape the campaign produces — small families of
+		// near-identical last-hop sets and a long singleton tail — fed
+		// through Pipeline.Run, which streams Observe deltas exactly as
+		// the core pipeline does.
+		aggs := syntheticAggregates(scaleBlocks)
+		b.ReportAllocs()
+		runtime.GC()
+		hp := trackHeapPeak()
+		b.ResetTimer()
+		var clusters int
+		for i := 0; i < b.N; i++ {
+			res := (&cluster.Pipeline{Seed: 7, Workers: 8}).Run(aggs)
+			clusters = len(res.Clusters)
+			if clusters == 0 {
+				b.Fatal("clustering found no clusters")
+			}
+		}
+		b.StopTimer()
+		guardHeap(b, hp.Stop(), scaleClusterHeapCeiling)
+		b.ReportMetric(float64(clusters), "clusters")
+	})
+
+	b.Run(fmt.Sprintf("full-%dk-blocks", scaleBlocks/1000), func(b *testing.B) {
+		// The complete streamed pipeline — census, campaign, aggregation,
+		// clustering, and bounded reprobe validation all overlapped — the
+		// exact shape the nightly 1M job runs with -output.
+		b.ReportAllocs()
+		runtime.GC()
+		hp := trackHeapPeak()
+		b.ResetTimer()
+		var clusters, final int
+		for i := 0; i < b.N; i++ {
+			p := &core.Pipeline{
+				Net:     probe.NewSimNetwork(w),
+				Scanner: w,
+				Blocks:  blocks,
+				Seed:    7,
+				Options: core.Options{
+					Workers:        8,
+					CensusWorkers:  8,
+					ClusterWorkers: 8,
+					ValidatePairs:  200,
+				},
+				StreamChunk: scaleChunk,
+			}
+			out, err := p.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Clustering == nil {
+				b.Fatal("clustering did not run")
+			}
+			clusters, final = len(out.Clustering.Clusters), len(out.Final)
+			if final == 0 {
+				b.Fatal("pipeline produced no final blocks")
+			}
+		}
+		b.StopTimer()
+		guardHeap(b, hp.Stop(), scaleFullHeapCeiling)
+		b.ReportMetric(float64(clusters), "clusters")
+		b.ReportMetric(float64(final), "final-blocks")
+	})
+}
+
+// syntheticAggregates builds n aggregate blocks shaped like a real
+// campaign's output: 70% in families of 3-8 sharing most of a last-hop
+// set (the clusterable mass), 30% singletons with unique sets (the
+// unclustered tail). Deterministic in n.
+func syntheticAggregates(n int) []*aggregate.Block {
+	aggs := make([]*aggregate.Block, 0, n)
+	hop := uint32(0x0a000000)
+	base := uint32(0)
+	for len(aggs) < n {
+		r := uint32(len(aggs))*2654435761 + 12345
+		if r%10 < 7 {
+			// A family: k hops, members each missing one element.
+			k := 3 + int(r%6)
+			family := make([]iputil.Addr, k)
+			for i := range family {
+				family[i] = iputil.Addr(hop)
+				hop++
+			}
+			members := 3 + int((r>>8)%6)
+			for m := 0; m < members && len(aggs) < n; m++ {
+				blk := &aggregate.Block{ID: len(aggs)}
+				for i, h := range family {
+					if i == m%k {
+						continue
+					}
+					blk.LastHops = append(blk.LastHops, h)
+				}
+				blk.Blocks24 = append(blk.Blocks24, iputil.Block24(base))
+				base += 4
+				aggs = append(aggs, blk)
+			}
+		} else {
+			blk := &aggregate.Block{ID: len(aggs)}
+			blk.LastHops = []iputil.Addr{iputil.Addr(hop), iputil.Addr(hop + 1)}
+			hop += 2
+			blk.Blocks24 = append(blk.Blocks24, iputil.Block24(base))
+			base += 4
+			aggs = append(aggs, blk)
+		}
+	}
+	return aggs
 }

@@ -8,15 +8,19 @@
 //
 //	hobbit [-blocks N] [-scale F] [-seed S] [-workers W]
 //	       [-census-workers W] [-cluster-workers W] [-stream-chunk N]
-//	       [-skip-clustering] [-fault-plan NAME] [-dump FILE] [-top N]
-//	       [-json] [-progress] [-metrics-addr HOST:PORT]
+//	       [-skip-clustering] [-fault-plan NAME] [-dump FILE]
+//	       [-output FILE] [-top N] [-json] [-progress]
+//	       [-metrics-addr HOST:PORT]
 //
 // Every run is instrumented: -json emits the versioned api.RunSummaryV1
 // (the same bytes hobbitd serves from /v1/campaigns/{id}/result) with a
 // telemetry section (per-stage durations, per-stage probe counts,
 // histograms), -progress streams live progress lines to stderr, and
 // -metrics-addr serves the live registry snapshot as JSON over HTTP while
-// the run executes.
+// the run executes. -output streams every per-/24 measurement result to a
+// file as it becomes final — one JSON document, one record per line, run
+// summary appended at the end — so million-block runs produce their full
+// result set without holding a rendered report in memory.
 package main
 
 import (
@@ -56,6 +60,7 @@ func main() {
 		skipCl   = flag.Bool("skip-clustering", false, "stop after identical-set aggregation")
 		plan     = flag.String("fault-plan", "", "inject a built-in fault plan into the synthetic world and enable adaptive probing (one of: "+strings.Join(faultplan.BuiltinNames(), ", ")+")")
 		dump     = flag.String("dump", "", "write the final homogeneous block map to this file")
+		output   = flag.String("output", "", "stream per-/24 measurement results to this file as JSON (records written as they become final, summary appended)")
 		top      = flag.Int("top", 15, "number of largest blocks to characterize")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable run summary instead of tables")
 		progress = flag.Bool("progress", false, "stream live measurement progress lines to stderr")
@@ -67,7 +72,7 @@ func main() {
 		blocks: *blocks, scale: *scale, seed: *seed, workers: *workers,
 		clusterWorkers: *clWorker, censusWorkers: *cnWorker,
 		streamChunk: *stream, skipClustering: *skipCl, faultPlan: *plan,
-		dump: *dump, top: *top, json: *jsonOut,
+		dump: *dump, output: *output, top: *top, json: *jsonOut,
 		progress: *progress, metricsAddr: *metrics,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "hobbit:", err)
@@ -86,6 +91,7 @@ type runConfig struct {
 	skipClustering bool
 	faultPlan      string
 	dump           string
+	output         string
 	top            int
 	json           bool
 	progress       bool
@@ -127,6 +133,11 @@ func run(ctx context.Context, rc runConfig) error {
 	// documented "use GOMAXPROCS" value.
 	opts := rc.options()
 	if err := opts.Validate(); err != nil {
+		return err
+	}
+	// A bad -stream-chunk fails here, before the synthetic world is
+	// built, with the same error Pipeline.Run would raise.
+	if err := core.ValidateStreamChunk(rc.streamChunk); err != nil {
 		return err
 	}
 	cfg := netsim.DefaultConfig(rc.blocks)
@@ -205,10 +216,27 @@ func run(ctx context.Context, rc runConfig) error {
 	if rc.progress {
 		p.Progress = telemetry.NewLineSink(os.Stderr, 100)
 	}
+	var rw *resultWriter
+	if rc.output != "" {
+		rw, err = newResultWriter(rc.output)
+		if err != nil {
+			return err
+		}
+		defer rw.abort()
+		p.ResultSink = rw.sink
+	}
 	start = time.Now()
 	out, err := p.Run(ctx)
 	if err != nil {
 		return err
+	}
+	if rw != nil {
+		if err := rw.finish(api.BuildRunSummaryV1(len(world.Blocks()), rc.faultPlan, out, pnet, reg)); err != nil {
+			return err
+		}
+		if !rc.json {
+			fmt.Fprintf(stdout, "results streamed to %s (%d blocks)\n", rc.output, rw.n)
+		}
 	}
 	if rc.json {
 		return api.EncodeRunSummaryV1(stdout,

@@ -90,6 +90,65 @@ func runJSON(t *testing.T, seed uint64) (jsonSummary, map[string]any) {
 
 // TestRunJSONShape is the golden-style assertion on the -json summary:
 // every top-level key the seed shipped plus the new telemetry section.
+// TestRunOutputFile: -output streams per-/24 records during the run and
+// closes the document with the run summary; the finished file is one
+// well-formed JSON object (the nightly CI job asserts the same shape
+// with jq), and the record stream covers every measured block.
+func TestRunOutputFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline smoke test is slow")
+	}
+	for _, streamChunk := range []int{0, 32} {
+		path := filepath.Join(t.TempDir(), "out.json")
+		if err := run(context.Background(), runConfig{
+			blocks: 300, scale: 0.02, seed: 7, streamChunk: streamChunk,
+			output: path, top: 3, stdout: io.Discard,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Version int               `json:"version"`
+			Blocks  []json.RawMessage `json:"blocks"`
+			Summary jsonSummary       `json:"summary"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("chunk=%d: -output file is not valid JSON: %v", streamChunk, err)
+		}
+		if doc.Version != 1 {
+			t.Errorf("chunk=%d: version = %d", streamChunk, doc.Version)
+		}
+		if len(doc.Blocks) == 0 || len(doc.Blocks) != doc.Summary.Eligible {
+			t.Errorf("chunk=%d: %d block records, want one per eligible block (%d)",
+				streamChunk, len(doc.Blocks), doc.Summary.Eligible)
+		}
+		if doc.Summary.Final == 0 || doc.Summary.Universe != 300 {
+			t.Errorf("chunk=%d: implausible summary trailer: %+v", streamChunk, doc.Summary)
+		}
+		var rec struct {
+			Block string `json:"block"`
+			Class string `json:"class"`
+		}
+		if err := json.Unmarshal(doc.Blocks[0], &rec); err != nil || rec.Block == "" || rec.Class == "" {
+			t.Errorf("chunk=%d: malformed first record %s (%v)", streamChunk, doc.Blocks[0], err)
+		}
+	}
+}
+
+// TestRunRejectsBadStreamChunk: the CLI surfaces core.ValidateStreamChunk
+// before building the world.
+func TestRunRejectsBadStreamChunk(t *testing.T) {
+	for _, chunk := range []int{-1, 1<<20 + 1} {
+		err := run(context.Background(), runConfig{blocks: 100, streamChunk: chunk, stdout: io.Discard})
+		if err == nil || !strings.Contains(err.Error(), "stream chunk") {
+			t.Errorf("streamChunk=%d: err = %v, want stream-chunk validation error", chunk, err)
+		}
+	}
+}
+
 func TestRunJSONShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("pipeline smoke test is slow")

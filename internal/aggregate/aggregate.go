@@ -83,10 +83,16 @@ func NewBuilder(in *Interner) *Builder {
 }
 
 // Add folds one measurement result into the aggregation. Results with
-// empty last-hop sets are skipped, exactly as Identical skips them.
-func (bd *Builder) Add(r *hobbit.BlockResult) {
+// empty last-hop sets are skipped, exactly as Identical skips them
+// (returning nil, false). Otherwise it returns the aggregate the result
+// landed in and whether this call created it — the delta signal the
+// streaming clusterer keys its incremental graph build on: a new
+// aggregate is a new similarity-graph vertex (its LastHops are final the
+// moment it is created), while a repeat only grows a member list, which
+// no edge depends on.
+func (bd *Builder) Add(r *hobbit.BlockResult) (*Block, bool) {
 	if len(r.LastHops) == 0 {
-		return
+		return nil, false
 	}
 	set, k := bd.in.Intern(r.LastHops)
 	blk, ok := bd.byKey[k]
@@ -96,6 +102,7 @@ func (bd *Builder) Add(r *hobbit.BlockResult) {
 		bd.order = append(bd.order, blk)
 	}
 	blk.Blocks24 = append(blk.Blocks24, r.Block)
+	return blk, !ok
 }
 
 // Finish sorts every block's member list, assigns dense IDs in

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/aggregate"
+	"github.com/hobbitscan/hobbit/internal/graph"
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// benchAggregates builds n aggregates in small families (the clusterable
+// mass a real campaign produces) plus a singleton tail.
+func benchAggregates(n int) []*aggregate.Block {
+	var blocks []*aggregate.Block
+	f := 0
+	for len(blocks) < n {
+		fam := starvedFamily(5, 8, uint32(f)*0x1000)
+		for _, b := range fam {
+			if len(blocks) >= n {
+				break
+			}
+			b.ID = len(blocks)
+			blocks = append(blocks, b)
+		}
+		f++
+	}
+	return blocks
+}
+
+// BenchmarkGraphBuild compares the two similarity-graph constructions
+// over the same aggregates: the barrier path (BuildGraphWorkers shards
+// the O(n·candidates) pair scan over a pool) against the incremental
+// path (one Observe per aggregate growing the graph through the
+// inverted index, seal machinery included, MCL pool never started). The
+// adjacency lists are identical by contract (TestStreamerMatchesBarrier);
+// this leg pins the cost of getting them.
+func BenchmarkGraphBuild(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		blocks := benchAggregates(n)
+		b.Run(fmt.Sprintf("barrier-%dk", n/1000), func(b *testing.B) {
+			b.ReportAllocs()
+			var edges int
+			for i := 0; i < b.N; i++ {
+				g := BuildGraphWorkers(blocks, 8)
+				edges = g.NumEdges()
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+		b.Run(fmt.Sprintf("incremental-%dk", n/1000), func(b *testing.B) {
+			b.ReportAllocs()
+			var edges int
+			for i := 0; i < b.N; i++ {
+				// A bare Streamer with no worker pool: dispatch parks
+				// sealed jobs on pending (nil channel, non-blocking), so
+				// the leg measures graph growth and seal snapshots, not
+				// MCL.
+				s := &Streamer{
+					p:       &Pipeline{Seed: 1},
+					g:       graph.New(0),
+					posting: make(map[iputil.Addr][]int),
+					jobs:    make(map[int]*mclJob),
+				}
+				for _, blk := range blocks {
+					s.Observe(blk, true)
+				}
+				edges = s.g.NumEdges()
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+	}
+}

@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"context"
+	"runtime"
 	"sort"
 
 	"github.com/hobbitscan/hobbit/internal/aggregate"
@@ -154,8 +155,29 @@ func (p *Pipeline) inflations() []float64 {
 	return []float64{1.4, 1.8, 2.0, 2.4, 3.0}
 }
 
-// Run executes the full Section 6.3-6.4 procedure.
+// Run executes the full Section 6.3-6.4 procedure. It is the batch form
+// of the streaming clusterer: every aggregate is observed as a fresh
+// delta and the stream is finished immediately, which routes the whole
+// run — incremental graph build, per-component MCL on the worker pool,
+// deferred sweep merge — through the same code the pipelined campaign
+// drives one result at a time. runBarrier is the executable reference
+// the streamer is tested against.
 func (p *Pipeline) Run(blocks []*aggregate.Block) *Result {
+	s := p.Stream()
+	for _, b := range blocks {
+		s.Observe(b, true)
+	}
+	return s.Finish()
+}
+
+// runtimeWorkers is the auto worker count (Workers == 0).
+func runtimeWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// runBarrier is the original stage-barrier implementation — build the
+// full graph, split into components, sweep, cluster — kept as the
+// specification the streaming path must reproduce byte for byte
+// (TestStreamerMatchesBarrier); it emits the barrier-era counters only.
+func (p *Pipeline) runBarrier(blocks []*aggregate.Block) *Result {
 	pool := parallel.Pool{Workers: p.Workers, Telemetry: p.Telemetry, Stage: "cluster"}
 	g := buildGraph(blocks, pool)
 	comps := g.Components()

@@ -64,6 +64,13 @@ type Pipeline struct {
 	// block universe is large enough (100k+) that holding the full
 	// census and campaign intermediates would dominate memory.
 	StreamChunk int
+	// ResultSink, when non-nil, receives every per-/24 measurement result
+	// in campaign order as soon as it is final — before clustering and
+	// validation run — so callers can stream results to disk instead of
+	// holding a rendered report for the whole run. The callback runs on
+	// the collector goroutine (never concurrently) and must not retain
+	// the pointer past the call if it mutates.
+	ResultSink func(*hobbit.BlockResult)
 	// Terminator overrides the hierarchical-sufficiency rule (nil uses
 	// the MDA stopping rule; a confidence.Table reproduces Figure 4's).
 	Terminator hobbit.Terminator
@@ -147,6 +154,9 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 	if err := p.Options.Validate(); err != nil {
 		return nil, err
 	}
+	if err := ValidateStreamChunk(p.StreamChunk); err != nil {
+		return nil, err
+	}
 	if p.StreamChunk > 0 {
 		return p.runStreamed(ctx)
 	}
@@ -175,55 +185,84 @@ func (p *Pipeline) Run(ctx context.Context) (*Output, error) {
 	res, err := campaign.Run(ctx, out.Eligible)
 	out.Campaign = res
 	span.End()
+	if p.ResultSink != nil && res != nil {
+		for _, b := range res.Order {
+			p.ResultSink(res.Blocks[b])
+		}
+	}
 	if err != nil {
 		return out, err
 	}
 
 	span = reg.StartSpan(StageAggregate)
 	homogeneous := out.Campaign.HomogeneousBlocks()
+	// One interner backs both the aggregation and the post-validation
+	// merge, so every block that shares a last-hop set — before and after
+	// cluster merging — shares one canonical slice.
+	interner := aggregate.NewInterner()
+	builder := aggregate.NewBuilder(interner)
+	str := p.clusterStream()
+	homogeneousIn := 0
 	// Graceful degradation: verdicts that rest on budget-exhausted
 	// measurements stay in the campaign result for reporting but are
 	// kept out of aggregation, so one faulted window cannot poison a
-	// multi-/24 aggregate. The filter preserves campaign order, so the
+	// multi-/24 aggregate. The loop preserves campaign order, so the
 	// exclusion list — like every other artifact — is byte-identical
-	// across worker counts.
-	kept := homogeneous[:0:0]
+	// across worker counts, and the streaming clusterer observes the
+	// exact aggregate-delta sequence the pipelined path feeds it (same
+	// logical clock, so its seal counters match too).
 	for _, br := range homogeneous {
 		if br.LowConfidence() {
 			out.LowConfidence = append(out.LowConfidence, br.Block)
 			continue
 		}
-		kept = append(kept, br)
+		homogeneousIn++
+		blk, isNew := builder.Add(br)
+		if str != nil && blk != nil {
+			str.Observe(blk, isNew)
+		}
 	}
-	homogeneous = kept
-	// One interner backs both the aggregation and the post-validation
-	// merge, so every block that shares a last-hop set — before and after
-	// cluster merging — shares one canonical slice.
-	interner := aggregate.NewInterner()
-	out.Aggregates = aggregate.IdenticalInterned(homogeneous, interner)
-	reg.Counter("aggregate.homogeneous_in").Add(int64(len(homogeneous)))
+	out.Aggregates = builder.Finish()
+	reg.Counter("aggregate.homogeneous_in").Add(int64(homogeneousIn))
 	reg.Counter("aggregate.low_confidence_excluded").Add(int64(len(out.LowConfidence)))
 	reg.Counter("aggregate.blocks_out").Add(int64(len(out.Aggregates)))
 	span.End()
-	return p.finishRun(ctx, out, interner)
+	return p.finishRun(ctx, out, interner, str)
+}
+
+// clusterStream starts the incremental clustering stage — nil when the
+// run skips clustering. Both run shapes create it before their
+// aggregation loop and feed it one Observe per kept homogeneous result,
+// so graph construction and per-component MCL overlap whatever stage is
+// still producing aggregates.
+func (p *Pipeline) clusterStream() *cluster.Streamer {
+	if p.SkipClustering {
+		return nil
+	}
+	pipe := &cluster.Pipeline{Seed: p.Seed, Workers: p.ClusterWorkers, Telemetry: p.Telemetry}
+	return pipe.Stream()
 }
 
 // finishRun executes the barrier-synchronized tail every run shape
-// shares — MCL clustering and reprobe validation need the complete
-// aggregate set, so the streamed and materialized paths converge here.
-func (p *Pipeline) finishRun(ctx context.Context, out *Output, interner *aggregate.Interner) (*Output, error) {
+// shares — the parameter-sweep merge and reprobe validation need the
+// complete aggregate set, so the streamed and materialized paths
+// converge here. str is the incremental clustering stage both paths fed
+// during aggregation (nil when SkipClustering); Finish joins its worker
+// pool, runs MCL on whatever components were not sealed early, and
+// merges the inflation sweep.
+func (p *Pipeline) finishRun(ctx context.Context, out *Output, interner *aggregate.Interner, str *cluster.Streamer) (*Output, error) {
 	reg := p.Telemetry
 	if p.SkipClustering {
 		out.Final = out.Aggregates
 		return out, ctx.Err()
 	}
 	if err := ctx.Err(); err != nil {
+		str.Abort()
 		return out, err
 	}
 
 	span := reg.StartSpan(StageCluster)
-	pipe := &cluster.Pipeline{Seed: p.Seed, Workers: p.ClusterWorkers, Telemetry: reg}
-	out.Clustering = pipe.Run(out.Aggregates)
+	out.Clustering = str.Finish()
 	span.End()
 	if err := ctx.Err(); err != nil {
 		return out, err

@@ -46,6 +46,52 @@ func TestOptionsValidate(t *testing.T) {
 	}
 }
 
+// TestValidateStreamChunk pins the StreamChunk guard rails: 0 disables
+// streaming, anything up to one full /24-space chunk streams, negatives
+// and unit-mistake sizes fail with an error naming the value.
+func TestValidateStreamChunk(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string // "" = accept
+	}{
+		{0, ""},
+		{1, ""},
+		{64, ""},
+		{4096, ""},
+		{MaxStreamChunk, ""},
+		{-1, "stream chunk"},
+		{-5000, "stream chunk"},
+		{MaxStreamChunk + 1, "exceeds"},
+		{1 << 30, "exceeds"},
+	}
+	for _, tc := range cases {
+		err := ValidateStreamChunk(tc.n)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("ValidateStreamChunk(%d) = %v, want nil", tc.n, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ValidateStreamChunk(%d) = %v, want mention of %q", tc.n, err, tc.want)
+		}
+	}
+}
+
+// TestPipelineRejectsInvalidStreamChunk: Run fails fast before building
+// any stage when StreamChunk is out of range.
+func TestPipelineRejectsInvalidStreamChunk(t *testing.T) {
+	_, p := testPipeline(t, 100)
+	p.StreamChunk = -3
+	if _, err := p.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "stream chunk") {
+		t.Fatalf("Run with StreamChunk=-3: err = %v, want stream-chunk validation error", err)
+	}
+	p.StreamChunk = MaxStreamChunk + 1
+	if _, err := p.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("Run with StreamChunk over max: err = %v, want stream-chunk validation error", err)
+	}
+}
+
 // TestOptionsCanonical pins the cache-key equivalence classes: worker
 // counts never split a key (the §4d determinism contract makes them pure
 // scheduling), implicit defaults match their explicit spellings, and the

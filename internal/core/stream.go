@@ -78,6 +78,13 @@ func (p *Pipeline) runStreamed(ctx context.Context) (*Output, error) {
 
 	interner := aggregate.NewInterner()
 	builder := aggregate.NewBuilder(interner)
+	// The clustering stage streams too: every aggregate delta the builder
+	// reports flows into the incremental graph on the spot, and components
+	// that go quiet are sealed and dispatched onto the MCL pool while the
+	// campaign is still probing (DESIGN.md §4i). Sealing runs on a logical
+	// clock of Observe calls — the same sequence the materialized path
+	// replays — so artifacts and counters stay byte-identical.
+	str := p.clusterStream()
 	aggSpan := reg.StartSpan(StageAggregate)
 	homogeneousIn := 0
 	campaign := &hobbit.Campaign{
@@ -88,6 +95,9 @@ func (p *Pipeline) runStreamed(ctx context.Context) (*Output, error) {
 		Stage:     StageMeasure,
 	}
 	res, cerr := campaign.RunStream(ctx, feed, func(br *hobbit.BlockResult) {
+		if p.ResultSink != nil {
+			p.ResultSink(br)
+		}
 		if !br.Class.Homogeneous() {
 			return
 		}
@@ -99,7 +109,10 @@ func (p *Pipeline) runStreamed(ctx context.Context) (*Output, error) {
 			return
 		}
 		homogeneousIn++
-		builder.Add(br)
+		blk, isNew := builder.Add(br)
+		if str != nil && blk != nil {
+			str.Observe(blk, isNew)
+		}
 	})
 	cancelScan()
 	feedWG.Wait()
@@ -109,6 +122,7 @@ func (p *Pipeline) runStreamed(ctx context.Context) (*Output, error) {
 	measureSpan.End()
 	if cerr != nil {
 		aggSpan.End()
+		str.Abort()
 		return out, cerr
 	}
 
@@ -117,5 +131,5 @@ func (p *Pipeline) runStreamed(ctx context.Context) (*Output, error) {
 	reg.Counter("aggregate.low_confidence_excluded").Add(int64(len(out.LowConfidence)))
 	reg.Counter("aggregate.blocks_out").Add(int64(len(out.Aggregates)))
 	aggSpan.End()
-	return p.finishRun(ctx, out, interner)
+	return p.finishRun(ctx, out, interner, str)
 }

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"github.com/hobbitscan/hobbit/internal/faultplan"
 	"github.com/hobbitscan/hobbit/internal/telemetry"
 )
 
@@ -81,6 +82,66 @@ func TestPipelineStreamedIdentical(t *testing.T) {
 			}
 			if !reflect.DeepEqual(gotSnap.Histograms, wantSnap.Histograms) {
 				t.Error("histograms differ between streamed and materialized runs")
+			}
+		})
+	}
+}
+
+// TestPipelineClusteringMatrix is the PR's acceptance matrix for the
+// streaming clustering stage: {ClusterWorkers 1, 8} × {StreamChunk 1,
+// 64, 4096}, on an unfaulted world and on a blackhole-faulted world with
+// adaptive probing (the shape that produces low-confidence exclusions),
+// each compared byte for byte — artifacts, counters, histograms —
+// against that world's materialized barrier run.
+func TestPipelineClusteringMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("14 full pipeline runs are slow")
+	}
+	for _, faulted := range []bool{false, true} {
+		name := "unfaulted"
+		if faulted {
+			name = "faulted"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(streamChunk, clusterWorkers int) ([]byte, *telemetry.Snapshot) {
+				w, p := testPipeline(t, 300)
+				if faulted {
+					sched, err := faultplan.CompileBuiltin("blackhole", w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					w.SetFaults(sched)
+					p.MDA.Adaptive = true
+				}
+				reg := telemetry.NewRegistry()
+				p.Telemetry = reg
+				p.ClusterWorkers = clusterWorkers
+				p.StreamChunk = streamChunk
+				out, err := p.Run(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				snap := reg.Snapshot()
+				return marshalOutput(t, out), &snap
+			}
+			wantJSON, wantSnap := run(0, 4)
+			if wantSnap.Counters["cluster.clusters"] == 0 {
+				t.Fatal("baseline run produced no clusters; the matrix would compare nothing")
+			}
+			for _, cw := range []int{1, 8} {
+				for _, chunk := range []int{1, 64, 4096} {
+					gotJSON, gotSnap := run(chunk, cw)
+					if !bytes.Equal(gotJSON, wantJSON) {
+						t.Errorf("chunk=%d workers=%d: output differs from materialized baseline", chunk, cw)
+					}
+					if !reflect.DeepEqual(gotSnap.Counters, wantSnap.Counters) {
+						t.Errorf("chunk=%d workers=%d: counters differ:\ngot:  %v\nwant: %v",
+							chunk, cw, gotSnap.Counters, wantSnap.Counters)
+					}
+					if !reflect.DeepEqual(gotSnap.Histograms, wantSnap.Histograms) {
+						t.Errorf("chunk=%d workers=%d: histograms differ", chunk, cw)
+					}
+				}
 			}
 		})
 	}

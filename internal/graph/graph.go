@@ -25,6 +25,15 @@ func New(n int) *Graph {
 // Len returns the number of vertices.
 func (g *Graph) Len() int { return len(g.adj) }
 
+// AddVertex appends a new isolated vertex and returns its index. It is
+// the growth primitive of the incremental similarity-graph builder: the
+// streaming clusterer creates one vertex per aggregate delta and then
+// wires its edges with AddEdge.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
 // AddEdge inserts an undirected edge; zero- and negative-weight edges are
 // ignored, as are self loops (MCL adds its own).
 func (g *Graph) AddEdge(a, b int, w float64) {

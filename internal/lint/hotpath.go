@@ -8,20 +8,25 @@ import (
 
 // AnalyzerHotpathAlloc keeps declared probe hot paths off the allocator.
 // A function opts in by carrying a `//hobbit:hotpath` directive in its doc
-// comment (the probe primitives in internal/netsim do); inside such a
-// function, constructing an FNV hasher (fnv.New* escapes to the heap
-// through the hash.Hash interface) or converting a string to []byte (a
-// copying allocation) is reported. Both showed up as per-probe
-// allocations in the original rttProfile and are the exact regressions
-// the zero-alloc contract — asserted by testing.AllocsPerRun — would
-// otherwise only catch at test time. Build-time helpers stay unannotated
-// and may hash freely; a deliberate exception inside a hot path uses
+// comment (the probe primitives in internal/netsim and the MCL expansion
+// kernels in internal/mcl do); inside such a function, constructing an
+// FNV hasher (fnv.New* escapes to the heap through the hash.Hash
+// interface), converting a string to []byte (a copying allocation), or
+// building a map with make (a guaranteed heap allocation whose buckets
+// regrow on every call) is reported. All three showed up as per-call
+// allocations in profiles — the hasher and byte forms in the original
+// rttProfile, the per-column map in the pre-CSR MCL expansion — and are
+// the exact regressions the zero-alloc contract, asserted by
+// testing.AllocsPerRun, would otherwise only catch at test time.
+// Build-time helpers stay unannotated and may allocate freely; a
+// deliberate exception inside a hot path uses
 // //lint:ignore hotpath-alloc <reason>.
 var AnalyzerHotpathAlloc = &Analyzer{
 	Name: "hotpath-alloc",
-	Doc: "forbid fnv.New* constructors and []byte(string) conversions " +
-		"inside functions marked //hobbit:hotpath; precompute hashes and " +
-		"byte forms at build time so the probe path stays allocation-free",
+	Doc: "forbid fnv.New* constructors, []byte(string) conversions, and " +
+		"make(map) inside functions marked //hobbit:hotpath; precompute " +
+		"hashes and byte forms at build time and replace per-call maps " +
+		"with reused slices so the hot path stays allocation-free",
 	Run: runHotpathAlloc,
 }
 
@@ -51,6 +56,9 @@ func runHotpathAlloc(p *Pass) {
 				if isStringToBytes(p, call) {
 					report(call.Pos(), "[]byte(string) conversion allocates inside hot-path %s; precompute the byte form at World build time", name)
 				}
+				if isMakeMap(p, call) {
+					report(call.Pos(), "make(map) allocates inside hot-path %s; index into a reused slice or hoist the map into persistent scratch state", name)
+				}
 				return true
 			})
 		}
@@ -69,6 +77,27 @@ func isHotpath(fd *ast.FuncDecl) bool {
 		}
 	}
 	return false
+}
+
+// isMakeMap reports whether the call is the make builtin producing a
+// map type. Shadowed user-defined make functions resolve to a non-builtin
+// object and are left alone, as are make([]T, n) and make(chan T) —
+// slices back reusable buffers and channels never sit on a per-probe
+// path, so only the map form is a categorical hot-path mistake.
+func isMakeMap(p *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, ok := p.ObjectOf(id).(*types.Builtin); !ok {
+		return false
+	}
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	_, ok = t.Underlying().(*types.Map)
+	return ok
 }
 
 // isStringToBytes reports whether the call is a []byte(s) conversion from

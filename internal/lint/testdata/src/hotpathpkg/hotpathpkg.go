@@ -37,6 +37,42 @@ func HotSuppressed(s string) int {
 	return len(b)
 }
 
+// HotMap builds a map per call inside a declared hot path: flagged.
+//
+//hobbit:hotpath
+func HotMap(keys []int) int {
+	seen := make(map[int]bool, len(keys))
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return len(seen)
+}
+
+// BuildMap is the sanctioned build-time form: no annotation, no finding.
+func BuildMap(n int) map[int]int {
+	return make(map[int]int, n)
+}
+
+// HotSlice shows that make([]T, n) and make(chan T) stay silent inside a
+// hot path — only the map form is categorically wrong there.
+//
+//hobbit:hotpath
+func HotSlice(n int) int {
+	buf := make([]int, n)
+	ch := make(chan int, 1)
+	ch <- len(buf)
+	return <-ch
+}
+
+// HotMapSuppressed shows the escape hatch for a deliberate map.
+//
+//hobbit:hotpath
+func HotMapSuppressed(n int) int {
+	//lint:ignore hotpath-alloc cold init branch, runs once per engine
+	m := make(map[int]int, n)
+	return len(m)
+}
+
 // HotClean is a hot path with no allocation sources: no finding.
 //
 //hobbit:hotpath

@@ -4,16 +4,30 @@
 // inflation (entrywise powering that strengthens strong flows) over a
 // column-stochastic matrix until the flow matrix converges, then reading
 // clusters off the attractor rows.
+//
+// The flow matrix is held in column-major CSR form (one ptr/rows/vals
+// triple per matrix, not one slice per column), double-buffered between
+// rounds: a round appends into the spare buffer and swaps, so the steady
+// state allocates nothing (asserted by TestStepZeroAlloc under !race).
+// The arithmetic — accumulation order in expansion, pow/prune/normalize
+// order in inflation — matches the original per-column implementation
+// operation for operation, so results are bit-identical to it, which the
+// determinism contract (DESIGN.md §4d) and the frozen api goldens rely
+// on.
 package mcl
 
 import (
-	"context"
 	"math"
+	"runtime"
+	"slices"
 	"sort"
+	"sync"
 
 	"github.com/hobbitscan/hobbit/internal/graph"
-	"github.com/hobbitscan/hobbit/internal/parallel"
 )
+
+// runtimeWorkers is the auto worker count (Workers == 0).
+func runtimeWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Options configures an MCL run.
 type Options struct {
@@ -43,6 +57,10 @@ type Options struct {
 // parallelMinColumns is the matrix size below which a round is always
 // computed serially: the similarity graphs split into many small
 // components, and fan-out overhead would dominate their O(n) columns.
+// It doubles as the CSR engine's serial-fallback threshold — below it a
+// round runs on the engine's own persistent scratch with zero
+// allocations; above it shards append into per-shard buffers that are
+// stitched back in shard order.
 const parallelMinColumns = 128
 
 func (o Options) withDefaults() Options {
@@ -64,25 +82,65 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// entry is one sparse matrix cell within a column.
-type entry struct {
-	row int
-	val float64
+// csr is a column-major sparse matrix: column j's entries are
+// rows[ptr[j]:ptr[j+1]] (ascending) with values vals[ptr[j]:ptr[j+1]].
+type csr struct {
+	ptr  []int32
+	rows []int32
+	vals []float64
 }
 
-// matrix is column-major sparse, columns sorted by row.
-type matrix [][]entry
+// reset truncates the matrix for refilling without releasing capacity.
+func (m *csr) reset() {
+	m.ptr = append(m.ptr[:0], 0)
+	m.rows = m.rows[:0]
+	m.vals = m.vals[:0]
+}
 
-// fromGraph builds the initial column-stochastic flow matrix with self
-// loops.
-func fromGraph(g *graph.Graph, selfLoop float64) matrix {
+// shardState is one expansion worker's private accumulator and output
+// fragment, persisted on the engine so repeated rounds reuse capacity.
+type shardState struct {
+	dst     csr
+	scratch []float64
+	touched []int32
+}
+
+// engine holds one MCL run's state: the double-buffered flow matrix and
+// the expansion scratch. All methods run on the caller's goroutine except
+// the shard bodies inside step, which write only shard-private state.
+type engine struct {
+	n        int
+	opts     Options
+	workers  int
+	cur, nxt csr
+	serial   shardState
+	shards   []shardState
+}
+
+// newEngine builds the initial column-stochastic flow matrix with self
+// loops, exactly as the original fromGraph did: per column, self loop
+// plus neighbors sorted by row, duplicates merged, then normalized.
+func newEngine(g *graph.Graph, opts Options) *engine {
 	n := g.Len()
-	m := make(matrix, n)
+	e := &engine{n: n, opts: opts, workers: opts.Workers}
+	if e.workers <= 0 {
+		e.workers = runtimeWorkers()
+	}
+	e.serial.scratch = make([]float64, n)
+	e.serial.touched = make([]int32, 0, n)
+	e.cur.reset()
+	e.nxt.reset()
+
+	type entry struct {
+		row int32
+		val float64
+	}
+	var col []entry
 	for v := 0; v < n; v++ {
-		col := make([]entry, 0, len(g.Neighbors(v))+1)
-		col = append(col, entry{row: v, val: selfLoop})
-		for _, e := range g.Neighbors(v) {
-			col = append(col, entry{row: e.To, val: e.Weight})
+		col = col[:0]
+		col = append(col, entry{row: int32(v), val: opts.SelfLoop})
+		for _, ed := range g.Neighbors(v) {
+			col = append(col, entry{row: int32(ed.To), val: ed.Weight})
 		}
 		sort.Slice(col, func(i, j int) bool { return col[i].row < col[j].row })
 		// Merge duplicate rows (parallel edges).
@@ -94,120 +152,174 @@ func fromGraph(g *graph.Graph, selfLoop float64) matrix {
 				out = append(out, c)
 			}
 		}
-		m[v] = normalize(out)
-	}
-	return m
-}
-
-func normalize(col []entry) []entry {
-	var sum float64
-	for _, e := range col {
-		sum += e.val
-	}
-	if sum == 0 {
-		return col
-	}
-	for i := range col {
-		col[i].val /= sum
-	}
-	return col
-}
-
-// expandColumn computes column j of M' = M * M using the caller's dense
-// scratch accumulator, returning the sorted sparse column. The
-// accumulation order over m[j]'s entries is fixed by the column layout,
-// so the floating-point result is identical no matter which worker
-// computes the column.
-func (m matrix) expandColumn(j int, scratch []float64, touched []int) ([]entry, []int) {
-	touched = touched[:0]
-	for _, e := range m[j] {
-		colI := m[e.row]
-		for _, f := range colI {
-			if scratch[f.row] == 0 {
-				touched = append(touched, f.row)
+		var sum float64
+		for _, c := range out {
+			sum += c.val
+		}
+		for _, c := range out {
+			if sum != 0 {
+				c.val /= sum
 			}
-			scratch[f.row] += e.val * f.val
+			e.cur.rows = append(e.cur.rows, c.row)
+			e.cur.vals = append(e.cur.vals, c.val)
+		}
+		e.cur.ptr = append(e.cur.ptr, int32(len(e.cur.rows)))
+	}
+	return e
+}
+
+// expandInflateColumn computes column j of M' = M*M, inflates it, and
+// appends it to dst. The accumulation order over column j's entries is
+// fixed by the CSR layout — identical to the original expandColumn — and
+// the inflation replays pow, sum, prune, and the two normalizations in
+// the original entry order, so the appended column is bit-identical to
+// the per-column implementation's no matter which worker computes it.
+//
+//hobbit:hotpath
+func (e *engine) expandInflateColumn(st *shardState, dst *csr, j int) {
+	cur := &e.cur
+	touched := st.touched[:0]
+	scratch := st.scratch
+	for p := cur.ptr[j]; p < cur.ptr[j+1]; p++ {
+		i := cur.rows[p]
+		ev := cur.vals[p]
+		for q := cur.ptr[i]; q < cur.ptr[i+1]; q++ {
+			r := cur.rows[q]
+			if scratch[r] == 0 {
+				touched = append(touched, r)
+			}
+			scratch[r] += ev * cur.vals[q]
 		}
 	}
-	sort.Ints(touched)
-	col := make([]entry, 0, len(touched))
+	slices.Sort(touched)
+	st.touched = touched
+
+	// Gather the expanded column, then inflate in place: pow and sum in
+	// row order, prune against the normalized value, renormalize the
+	// survivors.
+	start := len(dst.vals)
 	for _, r := range touched {
-		col = append(col, entry{row: r, val: scratch[r]})
+		dst.rows = append(dst.rows, r)
+		dst.vals = append(dst.vals, scratch[r])
 		scratch[r] = 0
 	}
-	return col, touched
-}
-
-// inflateColumn raises the column's entries to the power r, prunes small
-// values, and renormalizes.
-func inflateColumn(col []entry, r, prune float64) []entry {
-	for i := range col {
-		col[i].val = math.Pow(col[i].val, r)
-	}
 	var sum float64
-	for _, e := range col {
-		sum += e.val
+	for i := start; i < len(dst.vals); i++ {
+		v := math.Pow(dst.vals[i], e.opts.Inflation)
+		dst.vals[i] = v
+		sum += v
 	}
-	if sum == 0 {
-		return col
-	}
-	out := col[:0]
-	for _, e := range col {
-		v := e.val / sum
-		if v >= prune {
-			out = append(out, entry{row: e.row, val: v})
+	if sum != 0 {
+		w := start
+		var sum2 float64
+		for i := start; i < len(dst.vals); i++ {
+			v := dst.vals[i] / sum
+			if v >= e.opts.Prune {
+				dst.rows[w] = dst.rows[i]
+				dst.vals[w] = v
+				sum2 += v
+				w++
+			}
+		}
+		dst.rows = dst.rows[:w]
+		dst.vals = dst.vals[:w]
+		if sum2 != 0 {
+			for i := start; i < w; i++ {
+				dst.vals[i] /= sum2
+			}
 		}
 	}
-	return normalize(out)
+	dst.ptr = append(dst.ptr, int32(len(dst.rows)))
 }
 
-// step computes one expansion + inflation round: out column j is column j
-// of M*M, inflated and pruned. Columns are independent, so they are
-// computed in contiguous shards — one dense scratch accumulator each —
-// and written to distinct slots of the output matrix; shard boundaries
-// cannot change any column's value, so the round is bit-identical to a
-// serial pass.
-func (m matrix) step(pool parallel.Pool, r, prune float64) matrix {
-	n := len(m)
-	out := make(matrix, n)
-	if n < parallelMinColumns {
-		pool.Workers = 1
-	}
-	// Background context: a round is the unit of cancellation-free work;
-	// callers cancel between MCL runs, not inside one.
-	_ = pool.Shards(context.Background(), n, func(_, lo, hi int) {
-		scratch := make([]float64, n)
-		touched := make([]int, 0, n)
-		for j := lo; j < hi; j++ {
-			var col []entry
-			col, touched = m.expandColumn(j, scratch, touched)
-			out[j] = inflateColumn(col, r, prune)
+// step computes one expansion + inflation round into the spare buffer and
+// swaps it in. Columns are independent: below the serial-fallback
+// threshold they run on the engine's persistent scratch (no allocation in
+// steady state); above it contiguous shards append into per-shard
+// buffers, which are stitched into the output strictly in shard order, so
+// the round is bit-identical to a serial pass at any worker count.
+//
+//hobbit:hotpath
+func (e *engine) step() {
+	e.nxt.reset()
+	if e.n < parallelMinColumns || e.workers <= 1 {
+		for j := 0; j < e.n; j++ {
+			e.expandInflateColumn(&e.serial, &e.nxt, j)
 		}
-	})
-	return out
+		e.cur, e.nxt = e.nxt, e.cur
+		return
+	}
+	e.stepParallel()
+}
+
+// stepParallel is the sharded body of step, split out so the serial
+// fallback's stack frame never materializes the goroutine closures (the
+// captured shard-count variable would otherwise be heap-allocated on
+// every round, serial or not).
+func (e *engine) stepParallel() {
+	k := e.workers
+	if k > e.n {
+		k = e.n
+	}
+	if e.shards == nil {
+		e.shards = make([]shardState, k)
+		for s := range e.shards {
+			e.shards[s].scratch = make([]float64, e.n)
+			e.shards[s].touched = make([]int32, 0, e.n)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for s := 0; s < k; s++ {
+		go func(s int) {
+			defer wg.Done()
+			st := &e.shards[s]
+			st.dst.reset()
+			lo, hi := s*e.n/k, (s+1)*e.n/k
+			for j := lo; j < hi; j++ {
+				e.expandInflateColumn(st, &st.dst, j)
+			}
+		}(s)
+	}
+	wg.Wait()
+	// Ordered stitch: shard s covers columns [s*n/k, (s+1)*n/k), so
+	// appending fragments in shard index order reassembles the exact
+	// serial output.
+	for s := 0; s < k; s++ {
+		st := &e.shards[s]
+		base := int32(len(e.nxt.rows))
+		for _, p := range st.dst.ptr[1:] {
+			e.nxt.ptr = append(e.nxt.ptr, base+p)
+		}
+		e.nxt.rows = append(e.nxt.rows, st.dst.rows...)
+		e.nxt.vals = append(e.nxt.vals, st.dst.vals...)
+	}
+	e.cur, e.nxt = e.nxt, e.cur
 }
 
 // delta returns the largest absolute entry difference between two
 // matrices.
-func delta(a, b matrix) float64 {
+//
+//hobbit:hotpath
+func delta(a, b *csr) float64 {
 	var max float64
-	for j := range a {
-		ai, bi := a[j], b[j]
-		i, k := 0, 0
-		for i < len(ai) || k < len(bi) {
+	for j := 0; j+1 < len(a.ptr); j++ {
+		i, iEnd := a.ptr[j], a.ptr[j+1]
+		k, kEnd := b.ptr[j], b.ptr[j+1]
+		for i < iEnd || k < kEnd {
 			switch {
-			case k >= len(bi) || (i < len(ai) && ai[i].row < bi[k].row):
-				if v := math.Abs(ai[i].val); v > max {
+			case k >= kEnd || (i < iEnd && a.rows[i] < b.rows[k]):
+				if v := math.Abs(a.vals[i]); v > max {
 					max = v
 				}
 				i++
-			case i >= len(ai) || bi[k].row < ai[i].row:
-				if v := math.Abs(bi[k].val); v > max {
+			case i >= iEnd || b.rows[k] < a.rows[i]:
+				if v := math.Abs(b.vals[k]); v > max {
 					max = v
 				}
 				k++
 			default:
-				if v := math.Abs(ai[i].val - bi[k].val); v > max {
+				if v := math.Abs(a.vals[i] - b.vals[k]); v > max {
 					max = v
 				}
 				i++
@@ -227,23 +339,21 @@ func Cluster(g *graph.Graph, opts Options) [][]int {
 	if n == 0 {
 		return nil
 	}
-	m := fromGraph(g, opts.SelfLoop)
-	pool := parallel.Pool{Workers: opts.Workers}
+	e := newEngine(g, opts)
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		next := m.step(pool, opts.Inflation, opts.Prune)
-		if delta(m, next) < opts.Epsilon {
-			m = next
+		e.step()
+		// After the swap, nxt holds the previous round's matrix.
+		if delta(&e.nxt, &e.cur) < opts.Epsilon {
 			break
 		}
-		m = next
 	}
-	return interpret(m, n)
+	return interpret(&e.cur, n)
 }
 
 // interpret reads clusters from the converged flow matrix: attractors are
 // vertices with positive diagonal; an attractor's cluster is the support
 // of its row; overlapping clusters merge (standard MCL interpretation).
-func interpret(m matrix, n int) [][]int {
+func interpret(m *csr, n int) [][]int {
 	// Row support of attractors via union-find over vertices.
 	parent := make([]int, n)
 	for i := range parent {
@@ -265,19 +375,19 @@ func interpret(m matrix, n int) [][]int {
 	}
 
 	attractor := make([]bool, n)
-	for j := range m {
-		for _, e := range m[j] {
-			if e.row == j && e.val > 1e-9 {
+	for j := 0; j < n; j++ {
+		for p := m.ptr[j]; p < m.ptr[j+1]; p++ {
+			if int(m.rows[p]) == j && m.vals[p] > 1e-9 {
 				attractor[j] = true
 			}
 		}
 	}
 	// A column's mass flows to attractors; join the column vertex with
 	// every attractor it supports, and attractors sharing a column.
-	for j := range m {
-		for _, e := range m[j] {
-			if attractor[e.row] && e.val > 1e-9 {
-				union(j, e.row)
+	for j := 0; j < n; j++ {
+		for p := m.ptr[j]; p < m.ptr[j+1]; p++ {
+			if attractor[m.rows[p]] && m.vals[p] > 1e-9 {
+				union(j, int(m.rows[p]))
 			}
 		}
 	}

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"github.com/hobbitscan/hobbit/internal/graph"
-	"github.com/hobbitscan/hobbit/internal/parallel"
 )
 
 // twoCliques builds two dense clusters joined by one weak edge.
@@ -111,29 +110,24 @@ func TestEmptyGraph(t *testing.T) {
 
 func TestMatrixStochasticInvariant(t *testing.T) {
 	g := twoCliques(5, 0.2)
-	m := fromGraph(g, 1.0)
-	checkStochastic := func(m matrix, stage string) {
-		for j := range m {
+	e := newEngine(g, Options{}.withDefaults())
+	checkStochastic := func(m *csr, stage string) {
+		t.Helper()
+		for j := 0; j+1 < len(m.ptr); j++ {
 			var sum float64
-			for _, e := range m[j] {
-				sum += e.val
+			for p := m.ptr[j]; p < m.ptr[j+1]; p++ {
+				sum += m.vals[p]
 			}
 			if math.Abs(sum-1) > 1e-9 {
 				t.Fatalf("%s: column %d sums to %v", stage, j, sum)
 			}
 		}
 	}
-	checkStochastic(m, "initial")
-	scratch := make([]float64, g.Len())
-	expanded := make(matrix, g.Len())
-	for j := range m {
-		expanded[j], _ = m.expandColumn(j, scratch, nil)
-	}
-	checkStochastic(expanded, "expanded")
-	for j := range expanded {
-		expanded[j] = inflateColumn(expanded[j], 2.0, 1e-5)
-	}
-	checkStochastic(expanded, "inflated")
+	checkStochastic(&e.cur, "initial")
+	// A full round (expand + inflate + renormalize) must preserve column
+	// stochasticity.
+	e.step()
+	checkStochastic(&e.cur, "after step")
 }
 
 // bridgedFamilies builds several dense families joined by weak bridges,
@@ -180,18 +174,25 @@ func TestClusterWorkersIdentical(t *testing.T) {
 		}
 	}
 
-	// One full round, matrix compared exactly.
-	m := fromGraph(g, 1.0)
-	s1 := m.step(parallel.Pool{Workers: 1}, 2.0, 1e-5)
-	s8 := m.step(parallel.Pool{Workers: 8}, 2.0, 1e-5)
-	for j := range s1 {
-		if len(s1[j]) != len(s8[j]) {
-			t.Fatalf("column %d lengths differ: %d vs %d", j, len(s1[j]), len(s8[j]))
+	// One full round, CSR matrices compared exactly: the sharded round
+	// must reassemble the serial one's ptr/rows/vals byte for byte.
+	e1 := newEngine(g, Options{Workers: 1}.withDefaults())
+	e8 := newEngine(g, Options{Workers: 8}.withDefaults())
+	e1.step()
+	e8.step()
+	if len(e1.cur.ptr) != len(e8.cur.ptr) || len(e1.cur.rows) != len(e8.cur.rows) {
+		t.Fatalf("matrix shapes differ: %d/%d ptr, %d/%d entries",
+			len(e1.cur.ptr), len(e8.cur.ptr), len(e1.cur.rows), len(e8.cur.rows))
+	}
+	for i := range e1.cur.ptr {
+		if e1.cur.ptr[i] != e8.cur.ptr[i] {
+			t.Fatalf("ptr[%d] differs: %d vs %d", i, e1.cur.ptr[i], e8.cur.ptr[i])
 		}
-		for k := range s1[j] {
-			if s1[j][k] != s8[j][k] {
-				t.Fatalf("column %d entry %d differs: %v vs %v", j, k, s1[j][k], s8[j][k])
-			}
+	}
+	for i := range e1.cur.rows {
+		if e1.cur.rows[i] != e8.cur.rows[i] || e1.cur.vals[i] != e8.cur.vals[i] {
+			t.Fatalf("entry %d differs: (%d, %v) vs (%d, %v)", i,
+				e1.cur.rows[i], e1.cur.vals[i], e8.cur.rows[i], e8.cur.vals[i])
 		}
 	}
 }
