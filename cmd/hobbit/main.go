@@ -43,6 +43,7 @@ import (
 	"github.com/hobbitscan/hobbit/internal/core"
 	"github.com/hobbitscan/hobbit/internal/faultplan"
 	"github.com/hobbitscan/hobbit/internal/hobbit"
+	"github.com/hobbitscan/hobbit/internal/monitor"
 	"github.com/hobbitscan/hobbit/internal/netsim"
 	"github.com/hobbitscan/hobbit/internal/probe"
 	"github.com/hobbitscan/hobbit/internal/telemetry"
@@ -58,6 +59,7 @@ func main() {
 		cnWorker = flag.Int("census-workers", 0, "census sweep workers (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		stream   = flag.Int("stream-chunk", 0, "pipeline census, measurement, and aggregation over chunks of this many /24s (0 = materialized stages; output is identical either way)")
 		skipCl   = flag.Bool("skip-clustering", false, "stop after identical-set aggregation")
+		monEp    = flag.Int("monitor-epochs", 0, "after the initial run, advance the fault epoch this many times and re-measure incrementally (continuous-monitoring mode; the summary reports the final epoch)")
 		plan     = flag.String("fault-plan", "", "inject a built-in fault plan into the synthetic world and enable adaptive probing (one of: "+strings.Join(faultplan.BuiltinNames(), ", ")+")")
 		dump     = flag.String("dump", "", "write the final homogeneous block map to this file")
 		output   = flag.String("output", "", "stream per-/24 measurement results to this file as JSON (records written as they become final, summary appended)")
@@ -72,7 +74,8 @@ func main() {
 		blocks: *blocks, scale: *scale, seed: *seed, workers: *workers,
 		clusterWorkers: *clWorker, censusWorkers: *cnWorker,
 		streamChunk: *stream, skipClustering: *skipCl, faultPlan: *plan,
-		dump: *dump, output: *output, top: *top, json: *jsonOut,
+		monitorEpochs: *monEp,
+		dump:          *dump, output: *output, top: *top, json: *jsonOut,
 		progress: *progress, metricsAddr: *metrics,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "hobbit:", err)
@@ -90,6 +93,7 @@ type runConfig struct {
 	streamChunk    int
 	skipClustering bool
 	faultPlan      string
+	monitorEpochs  int
 	dump           string
 	output         string
 	top            int
@@ -134,6 +138,14 @@ func run(ctx context.Context, rc runConfig) error {
 	opts := rc.options()
 	if err := opts.Validate(); err != nil {
 		return err
+	}
+	if rc.monitorEpochs < 0 {
+		return errors.New("-monitor-epochs must be >= 0")
+	}
+	if rc.monitorEpochs > 0 && rc.output != "" {
+		// The monitor re-emits every per-/24 result each epoch; the
+		// streamed result file is defined as one record per block.
+		return errors.New("-output is not supported with -monitor-epochs")
 	}
 	// A bad -stream-chunk fails here, before the synthetic world is
 	// built, with the same error Pipeline.Run would raise.
@@ -226,9 +238,25 @@ func run(ctx context.Context, rc runConfig) error {
 		p.ResultSink = rw.sink
 	}
 	start = time.Now()
-	out, err := p.Run(ctx)
-	if err != nil {
-		return err
+	var out *core.Output
+	var monSum *api.MonitorSummaryV1
+	if rc.monitorEpochs > 0 {
+		mon := &monitor.Monitor{Pipeline: p, Source: &monitor.WorldSource{W: world}}
+		defer mon.Close()
+		reps, err := mon.Run(ctx, rc.monitorEpochs+1)
+		if err != nil {
+			return err
+		}
+		monSum = api.BuildMonitorSummaryV1(reps)
+		out = reps[len(reps)-1].Output
+		if !rc.json {
+			printMonitorEpochs(stdout, reps)
+		}
+	} else {
+		out, err = p.Run(ctx)
+		if err != nil {
+			return err
+		}
 	}
 	if rw != nil {
 		if err := rw.finish(api.BuildRunSummaryV1(len(world.Blocks()), rc.faultPlan, out, pnet, reg)); err != nil {
@@ -239,8 +267,9 @@ func run(ctx context.Context, rc runConfig) error {
 		}
 	}
 	if rc.json {
-		return api.EncodeRunSummaryV1(stdout,
-			api.BuildRunSummaryV1(len(world.Blocks()), rc.faultPlan, out, pnet, reg))
+		sum := api.BuildRunSummaryV1(len(world.Blocks()), rc.faultPlan, out, pnet, reg)
+		sum.Monitor = monSum
+		return api.EncodeRunSummaryV1(stdout, sum)
 	}
 	fmt.Fprintf(stdout, "pipeline: %d eligible /24s measured in %v (%d pings, %d probes, %d retries)\n\n",
 		len(out.Eligible), time.Since(start).Round(time.Millisecond), pnet.Pings(), pnet.Probes(),
@@ -300,6 +329,22 @@ func run(ctx context.Context, rc runConfig) error {
 		fmt.Fprintf(stdout, "\nblock map written to %s\n", rc.dump)
 	}
 	return nil
+}
+
+// printMonitorEpochs renders the monitoring session's per-epoch
+// accounting as a table.
+func printMonitorEpochs(w io.Writer, reps []*monitor.EpochReport) {
+	fmt.Fprintf(w, "monitoring: %d epochs (epoch 0 bootstraps, later epochs reprobe only churned blocks)\n", len(reps))
+	fmt.Fprintf(w, "  %-6s %-8s %-9s %-12s %-11s %s\n", "epoch", "changed", "reprobed", "comp-reused", "val-reused", "final")
+	for _, r := range reps {
+		final := 0
+		if r.Output != nil {
+			final = len(r.Output.Final)
+		}
+		fmt.Fprintf(w, "  %-6d %-8d %-9d %-12d %-11d %d\n",
+			r.Epoch, r.Changed, r.Reprobed, r.Cluster.Reused, r.ValReused, final)
+	}
+	fmt.Fprintln(w)
 }
 
 // dumpBlocks writes the final block map in the blockmap text format.

@@ -336,3 +336,56 @@ func TestRunFaultPlanJSON(t *testing.T) {
 		t.Errorf("rate-storm run recorded no degraded blocks: %v", counters["campaign.degraded_blocks"])
 	}
 }
+
+// TestRunMonitorEpochs drives the continuous-monitoring mode through
+// the CLI: the -json summary grows a monitor section with one entry
+// per epoch (bootstrap included), post-bootstrap epochs reprobe strict
+// subsets, and the headline fields describe the final epoch.
+func TestRunMonitorEpochs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline smoke test is slow")
+	}
+	var buf bytes.Buffer
+	err := run(context.Background(), runConfig{
+		blocks: 400, scale: 0.02, seed: 7, workers: 2, faultPlan: "flap",
+		monitorEpochs: 2, top: 3, json: true, stdout: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Eligible int `json:"eligible_blocks"`
+		Final    int `json:"final_blocks"`
+		Monitor  *struct {
+			Epochs []struct {
+				Epoch    int  `json:"epoch"`
+				All      bool `json:"all"`
+				Reprobed int  `json:"reprobed_blocks"`
+			} `json:"epochs"`
+		} `json:"monitor"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &sum); err != nil {
+		t.Fatalf("parsing -json output: %v", err)
+	}
+	if sum.Monitor == nil || len(sum.Monitor.Epochs) != 3 {
+		t.Fatalf("monitor section %+v, want 3 epochs", sum.Monitor)
+	}
+	if !sum.Monitor.Epochs[0].All || sum.Monitor.Epochs[0].Reprobed != sum.Eligible {
+		t.Fatalf("bootstrap epoch %+v, want All with Reprobed == %d", sum.Monitor.Epochs[0], sum.Eligible)
+	}
+	for _, e := range sum.Monitor.Epochs[1:] {
+		if e.All || e.Reprobed >= sum.Eligible {
+			t.Errorf("epoch %d reprobed %d of %d — not incremental", e.Epoch, e.Reprobed, sum.Eligible)
+		}
+	}
+}
+
+func TestRunMonitorEpochsFlagErrors(t *testing.T) {
+	if err := run(context.Background(), runConfig{blocks: 100, monitorEpochs: -1}); err == nil {
+		t.Error("negative -monitor-epochs accepted")
+	}
+	err := run(context.Background(), runConfig{blocks: 100, monitorEpochs: 2, output: "x.json"})
+	if err == nil || !strings.Contains(err.Error(), "-output") {
+		t.Errorf("-output with -monitor-epochs: err = %v, want rejection", err)
+	}
+}

@@ -8,18 +8,22 @@ import (
 	"github.com/hobbitscan/hobbit/internal/core"
 )
 
-// cacheKey canonicalizes a (world, options) pair into the string the
-// result cache keys on. The world spec arrives already normalized
-// (defaults applied), and the options collapse via core.Options.Canonical,
-// so every request that would produce bit-identical measurements — any
-// worker counts, implicit or explicit defaults — lands on the same key.
-// This is the determinism contract of DESIGN.md §4g: same key, same
+// cacheKey canonicalizes a (world, options, monitor_epochs) triple into
+// the string the result cache keys on. The world spec arrives already
+// normalized (defaults applied), and the options collapse via
+// core.Options.Canonical, so every request that would produce
+// bit-identical measurements — any worker counts, implicit or explicit
+// defaults — lands on the same key. Monitoring sessions key separately
+// per epoch count (their summary carries the whole epoch history), but
+// the omitempty keeps every pre-monitoring key byte-identical to what it
+// was. This is the determinism contract of DESIGN.md §4g: same key, same
 // bytes, zero probes.
-func cacheKey(world api.WorldSpecV1, opts core.Options) (string, error) {
+func cacheKey(world api.WorldSpecV1, opts core.Options, monitorEpochs int) (string, error) {
 	b, err := json.Marshal(struct {
-		World   api.WorldSpecV1 `json:"world"`
-		Options core.Options    `json:"options"`
-	}{world, opts.Canonical()})
+		World         api.WorldSpecV1 `json:"world"`
+		Options       core.Options    `json:"options"`
+		MonitorEpochs int             `json:"monitor_epochs,omitempty"`
+	}{world, opts.Canonical(), monitorEpochs})
 	return string(b), err
 }
 

@@ -46,6 +46,7 @@ func run(args []string, logw *os.File) error {
 		maxWorlds     = fs.Int("max-worlds", 4, "worlds kept warm")
 		maxResults    = fs.Int("max-results", 256, "cached results kept")
 		maxSessions   = fs.Int("max-sessions", 1024, "sessions retained")
+		maxMonitor    = fs.Int("max-monitor-epochs", 64, "ceiling on monitor_epochs per submission")
 		runTimeout    = fs.Duration("run-timeout", 10*time.Minute, "default per-campaign deadline")
 		maxTimeout    = fs.Duration("max-timeout", 30*time.Minute, "ceiling on requested timeout_ms")
 		progressEvery = fs.Int("progress-every", 0, "thin SSE progress to every Nth block (0 = all)")
@@ -60,14 +61,15 @@ func run(args []string, logw *os.File) error {
 	defer stop()
 
 	srv := newServer(serverConfig{
-		DefaultWorld: api.WorldSpecV1{Blocks: *defaultBlocks, Scale: *defaultScale},
-		MaxBlocks:    *maxBlocks,
-		MaxCampaigns: *maxCampaigns,
-		MaxWorlds:    *maxWorlds,
-		MaxResults:   *maxResults,
-		MaxSessions:  *maxSessions,
-		RunTimeout:   *runTimeout,
-		MaxTimeout:   *maxTimeout,
+		DefaultWorld:     api.WorldSpecV1{Blocks: *defaultBlocks, Scale: *defaultScale},
+		MaxBlocks:        *maxBlocks,
+		MaxCampaigns:     *maxCampaigns,
+		MaxWorlds:        *maxWorlds,
+		MaxResults:       *maxResults,
+		MaxSessions:      *maxSessions,
+		MaxMonitorEpochs: *maxMonitor,
+		RunTimeout:       *runTimeout,
+		MaxTimeout:       *maxTimeout,
 		ProgressEvery: func() int {
 			if *progressEvery < 0 {
 				return 0

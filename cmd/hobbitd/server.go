@@ -13,6 +13,8 @@ import (
 	"github.com/hobbitscan/hobbit/internal/api"
 	"github.com/hobbitscan/hobbit/internal/core"
 	"github.com/hobbitscan/hobbit/internal/faultplan"
+	"github.com/hobbitscan/hobbit/internal/monitor"
+	"github.com/hobbitscan/hobbit/internal/netsim"
 	"github.com/hobbitscan/hobbit/internal/parallel"
 	"github.com/hobbitscan/hobbit/internal/probe"
 	"github.com/hobbitscan/hobbit/internal/telemetry"
@@ -37,6 +39,10 @@ type serverConfig struct {
 	// MaxSessions bounds retained sessions; once every retained session
 	// is still unfinished, further submissions are rejected 429.
 	MaxSessions int
+	// MaxMonitorEpochs caps monitor_epochs on a submission: a monitoring
+	// session holds a campaign slot (and a private world) for its whole
+	// epoch loop, so the daemon bounds how long that can be.
+	MaxMonitorEpochs int
 	// RunTimeout is the default per-campaign deadline; MaxTimeout caps
 	// what a request's timeout_ms may raise it to.
 	RunTimeout time.Duration
@@ -66,6 +72,9 @@ func (c serverConfig) withDefaults() serverConfig {
 	}
 	if c.MaxSessions == 0 {
 		c.MaxSessions = 1024
+	}
+	if c.MaxMonitorEpochs == 0 {
+		c.MaxMonitorEpochs = 64
 	}
 	if c.RunTimeout == 0 {
 		c.RunTimeout = 10 * time.Minute
@@ -192,6 +201,12 @@ func (s *server) normalize(req *api.SubmitRequestV1) error {
 	if req.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0, got %d", req.TimeoutMS)
 	}
+	if req.MonitorEpochs < 0 {
+		return fmt.Errorf("monitor_epochs must be >= 0, got %d", req.MonitorEpochs)
+	}
+	if req.MonitorEpochs > s.cfg.MaxMonitorEpochs {
+		return fmt.Errorf("monitor_epochs must be <= %d, got %d", s.cfg.MaxMonitorEpochs, req.MonitorEpochs)
+	}
 	return req.Options.Validate()
 }
 
@@ -232,7 +247,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
-	key, err := cacheKey(req.World, req.Options)
+	key, err := cacheKey(req.World, req.Options, req.MonitorEpochs)
 	if err != nil {
 		api.WriteError(w, http.StatusInternalServerError, api.CodeBadRequest, err.Error())
 		return
@@ -312,7 +327,7 @@ func (s *server) admit(req api.SubmitRequestV1, key string) (*session, error) {
 	}
 	s.nextID++
 	id := fmt.Sprintf("c-%d", s.nextID)
-	sess := newSession(id, req.World, req.Options, key, s.nowMS())
+	sess := newSession(id, req.World, req.Options, key, req.MonitorEpochs, s.nowMS())
 	sess.events.every = s.cfg.ProgressEvery
 	s.sessions[id] = sess
 	s.order = append(s.order, id)
@@ -332,12 +347,28 @@ func (s *server) runSession(ctx context.Context, sess *session) {
 	defer func() { s.reg.Gauge("serve.campaigns_running").Set(int64(s.limiter.InUse() - 1)) }()
 	sess.setRunning(s.nowMS())
 
-	world, release, err := s.worlds.acquire(ctx, keyOf(sess.world))
-	if err != nil {
-		s.finishErr(sess, err)
-		return
+	var world *netsim.World
+	if sess.monitorEpochs > 0 {
+		// A monitoring session advances the world's fault epoch as it
+		// steps — mutable state no concurrent session may observe — so it
+		// builds a private world instead of borrowing from the pool.
+		var err error
+		world, err = buildWorld(keyOf(sess.world))
+		if err != nil {
+			s.finishErr(sess, err)
+			return
+		}
+		s.reg.Counter("serve.monitor_worlds_built").Inc()
+	} else {
+		var release func()
+		var err error
+		world, release, err = s.worlds.acquire(ctx, keyOf(sess.world))
+		if err != nil {
+			s.finishErr(sess, err)
+			return
+		}
+		defer release()
 	}
-	defer release()
 
 	net := probe.Instrument(probe.NewSimNetwork(world), sess.reg, core.StageMeasure)
 	p := &core.Pipeline{
@@ -351,13 +382,30 @@ func (s *server) runSession(ctx context.Context, sess *session) {
 			sess.events.append(copyProgress(ev))
 		}),
 	}
-	out, err := p.Run(ctx)
-	if err != nil {
-		s.finishErr(sess, err)
-		return
+	var out *core.Output
+	var monSum *api.MonitorSummaryV1
+	if sess.monitorEpochs > 0 {
+		mon := &monitor.Monitor{Pipeline: p, Source: &monitor.WorldSource{W: world}}
+		defer mon.Close()
+		reps, err := mon.Run(ctx, sess.monitorEpochs+1)
+		if err != nil {
+			s.finishErr(sess, err)
+			return
+		}
+		s.reg.Counter("serve.monitor_epochs").Add(int64(len(reps)))
+		monSum = api.BuildMonitorSummaryV1(reps)
+		out = reps[len(reps)-1].Output
+	} else {
+		var err error
+		out, err = p.Run(ctx)
+		if err != nil {
+			s.finishErr(sess, err)
+			return
+		}
 	}
 
 	summary := api.BuildRunSummaryV1(len(world.Blocks()), sess.world.FaultPlan, out, net, sess.reg)
+	summary.Monitor = monSum
 	var buf bytes.Buffer
 	if err := api.EncodeRunSummaryV1(&buf, summary); err != nil {
 		s.finishErr(sess, err)

@@ -588,3 +588,85 @@ func TestShutdownRefusesSubmissions(t *testing.T) {
 		t.Errorf("code = %q, want %q", code, api.CodeShuttingDown)
 	}
 }
+
+// TestMonitorSession submits a monitoring campaign and checks the
+// daemon's side of the contract: the summary grows a monitor section
+// with one entry per epoch (bootstrap included), the session keys the
+// result cache separately from its non-monitoring twin, the monitor's
+// world is private (never the pool's), and the ceiling rejects
+// oversized epoch counts.
+func TestMonitorSession(t *testing.T) {
+	_, ts := newTestServer(t, func(cfg *serverConfig) { cfg.MaxMonitorEpochs = 4 })
+
+	mkReq := func(epochs int) func(*api.SubmitRequestV1) {
+		return func(r *api.SubmitRequestV1) {
+			r.World.FaultPlan = "flap"
+			r.Wait = true
+			r.MonitorEpochs = epochs
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", submitBody(11, mkReq(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("monitor_epochs above ceiling: got %s, want 400", resp.Status)
+	}
+	if code := errorCode(t, resp); code != api.CodeBadRequest {
+		t.Fatalf("error code %q, want %q", code, api.CodeBadRequest)
+	}
+
+	_, sess := postCampaign(t, ts, submitBody(11, mkReq(2)))
+	if sess.State != api.StateDone {
+		t.Fatalf("monitor session state %q, want done", sess.State)
+	}
+	result := waitResult(t, ts, sess.ID)
+	var sum api.RunSummaryV1
+	if err := json.Unmarshal(result, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Monitor == nil || len(sum.Monitor.Epochs) != 3 {
+		t.Fatalf("monitor section: %+v, want 3 epochs", sum.Monitor)
+	}
+	boot := sum.Monitor.Epochs[0]
+	if !boot.All || boot.Reprobed != sum.Eligible {
+		t.Fatalf("bootstrap epoch: %+v, want All with Reprobed == %d", boot, sum.Eligible)
+	}
+	for _, e := range sum.Monitor.Epochs[1:] {
+		if e.All || e.Reprobed >= sum.Eligible {
+			t.Errorf("epoch %d reprobed %d of %d eligible — not incremental", e.Epoch, e.Reprobed, sum.Eligible)
+		}
+	}
+
+	// The plain campaign on the same world spec must miss the monitor's
+	// cache entry and carry no monitor section.
+	_, plain := postCampaign(t, ts, submitBody(11, func(r *api.SubmitRequestV1) {
+		r.World.FaultPlan = "flap"
+		r.Wait = true
+	}))
+	var plainSum api.RunSummaryV1
+	if err := json.Unmarshal(waitResult(t, ts, plain.ID), &plainSum); err != nil {
+		t.Fatal(err)
+	}
+	if plainSum.Monitor != nil {
+		t.Error("non-monitoring campaign grew a monitor section")
+	}
+
+	// Resubmitting the monitor request is a cache hit with identical bytes.
+	_, again := postCampaign(t, ts, submitBody(11, mkReq(2)))
+	if !again.CacheHit {
+		t.Error("identical monitor submission missed the result cache")
+	}
+	if got := waitResult(t, ts, again.ID); !bytes.Equal(got, result) {
+		t.Error("cached monitor result bytes differ from the first run")
+	}
+
+	c := counters(t, ts)
+	if c["serve.monitor_worlds_built"] == 0 {
+		t.Error("monitor session did not build a private world")
+	}
+	if c["serve.monitor_epochs"] != 3 {
+		t.Errorf("serve.monitor_epochs = %d, want 3", c["serve.monitor_epochs"])
+	}
+}

@@ -20,6 +20,11 @@ type session struct {
 	world    api.WorldSpecV1
 	opts     core.Options
 	cacheKey string
+	// monitorEpochs > 0 makes this a monitoring session: the runner
+	// bootstraps, then steps the fault epoch this many times on a private
+	// world (the monitor mutates the world's fault epoch, so it never
+	// shares a pooled one).
+	monitorEpochs int
 
 	events *eventLog
 	// reg is the session-scoped telemetry registry
@@ -39,17 +44,18 @@ type session struct {
 	errMsg   string
 }
 
-func newSession(id string, world api.WorldSpecV1, opts core.Options, key string, createdMS int64) *session {
+func newSession(id string, world api.WorldSpecV1, opts core.Options, key string, monitorEpochs int, createdMS int64) *session {
 	return &session{
-		id:       id,
-		world:    world,
-		opts:     opts,
-		cacheKey: key,
-		events:   newEventLog(),
-		reg:      telemetry.NewRegistry(),
-		done:     make(chan struct{}),
-		state:    api.StateQueued,
-		created:  createdMS,
+		id:            id,
+		world:         world,
+		opts:          opts,
+		cacheKey:      key,
+		monitorEpochs: monitorEpochs,
+		events:        newEventLog(),
+		reg:           telemetry.NewRegistry(),
+		done:          make(chan struct{}),
+		state:         api.StateQueued,
+		created:       createdMS,
 	}
 }
 

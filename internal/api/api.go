@@ -21,6 +21,7 @@ import (
 	"net/http"
 
 	"github.com/hobbitscan/hobbit/internal/core"
+	"github.com/hobbitscan/hobbit/internal/monitor"
 	"github.com/hobbitscan/hobbit/internal/probe"
 	"github.com/hobbitscan/hobbit/internal/telemetry"
 )
@@ -71,6 +72,13 @@ type SubmitRequestV1 struct {
 	// once the session terminates, and the run is tied to the request —
 	// a client disconnect aborts the campaign.
 	Wait bool `json:"wait,omitempty"`
+	// MonitorEpochs, when > 0, turns the campaign into a monitoring
+	// session: after the epoch-0 bootstrap the daemon advances the
+	// world's fault epoch this many times, re-measuring incrementally
+	// (mirrors cmd/hobbit -monitor-epochs). The result summary then
+	// carries a monitor section, and its headline fields describe the
+	// final epoch. Values above the daemon's ceiling are rejected.
+	MonitorEpochs int `json:"monitor_epochs,omitempty"`
 }
 
 // SessionV1 is the campaign-session resource: POST /v1/campaigns returns
@@ -179,6 +187,37 @@ type RunSummaryV1 struct {
 	FaultPlan   string             `json:"fault_plan,omitempty"`
 	LowConf     int                `json:"low_confidence_blocks"`
 	Telemetry   telemetry.Snapshot `json:"telemetry"`
+	// Monitor is present only for monitoring sessions (cmd/hobbit
+	// -monitor-epochs, or MonitorEpochs on the submit request): one
+	// entry per epoch stepped, bootstrap included. The headline fields
+	// above then describe the final epoch's output.
+	Monitor *MonitorSummaryV1 `json:"monitor,omitempty"`
+}
+
+// MonitorSummaryV1 is the monitoring section of a run summary.
+type MonitorSummaryV1 struct {
+	Epochs []MonitorEpochV1 `json:"epochs"`
+}
+
+// MonitorEpochV1 accounts one epoch of a monitoring session: how much
+// of the universe the change feed implicated, how much was actually
+// re-measured, and how much cached clustering and validation work
+// survived.
+type MonitorEpochV1 struct {
+	Epoch int `json:"epoch"`
+	// All marks an epoch whose change feed degraded to the whole
+	// universe (the bootstrap always does).
+	All      bool `json:"all,omitempty"`
+	Changed  int  `json:"changed_blocks"`
+	Reprobed int  `json:"reprobed_blocks"`
+	// Component and validation cache accounting (zero when the run
+	// skips clustering).
+	ComponentsReused      int `json:"components_reused"`
+	ComponentsRecomputed  int `json:"components_recomputed"`
+	ValidationsReused     int `json:"validations_reused"`
+	ValidationsRecomputed int `json:"validations_recomputed"`
+	// Final is the epoch's final block count.
+	Final int `json:"final_blocks"`
 }
 
 // BuildRunSummaryV1 assembles the summary from a finished run's
@@ -212,6 +251,32 @@ func BuildRunSummaryV1(universe int, faultPlan string, out *core.Output, net *pr
 				s.Validated++
 			}
 		}
+	}
+	return s
+}
+
+// BuildMonitorSummaryV1 converts a monitoring session's epoch reports
+// to their wire form (nil for an empty session).
+func BuildMonitorSummaryV1(reps []*monitor.EpochReport) *MonitorSummaryV1 {
+	if len(reps) == 0 {
+		return nil
+	}
+	s := &MonitorSummaryV1{}
+	for _, r := range reps {
+		e := MonitorEpochV1{
+			Epoch:                 r.Epoch,
+			All:                   r.All,
+			Changed:               r.Changed,
+			Reprobed:              r.Reprobed,
+			ComponentsReused:      r.Cluster.Reused,
+			ComponentsRecomputed:  r.Cluster.Recomputed,
+			ValidationsReused:     r.ValReused,
+			ValidationsRecomputed: r.ValRecomputed,
+		}
+		if r.Output != nil {
+			e.Final = len(r.Output.Final)
+		}
+		s.Epochs = append(s.Epochs, e)
 	}
 	return s
 }

@@ -93,9 +93,20 @@ type Streamer struct {
 
 	jobCh chan *mclJob
 	wg    sync.WaitGroup
+	// jobsWG counts dispatched-but-unfinished jobs, so the rolling epoch
+	// clusterer can await a batch without closing the pool the way
+	// Finish does.
+	jobsWG sync.WaitGroup
+
+	// sealDisabled turns off the quiet-window seal machinery: the
+	// rolling clusterer drives MCL through canonical per-component jobs
+	// instead (see epoch.go), so speculative internal-order seals would
+	// only burn workers.
+	sealDisabled bool
 
 	deltaEdges    int
 	invalidations int
+	retractions   int
 	closed        bool
 }
 
@@ -126,6 +137,7 @@ func (p *Pipeline) Stream() *Streamer {
 			defer s.wg.Done()
 			for j := range s.jobCh {
 				s.runJob(j)
+				s.jobsWG.Done()
 			}
 		}()
 	}
@@ -138,11 +150,15 @@ func (p *Pipeline) Stream() *Streamer {
 // vertex whose edges are resolved through the inverted index — its
 // last-hop set is final at creation, so the edge set never needs
 // revisiting — while a repeat only ages the quiet windows: member lists
-// grow after creation, but no edge weight depends on them.
-func (s *Streamer) Observe(blk *aggregate.Block, isNew bool) {
+// grow after creation, but no edge weight depends on them. It returns
+// the created vertex id (-1 for a repeat), which the rolling epoch
+// clusterer records; batch callers ignore it.
+func (s *Streamer) Observe(blk *aggregate.Block, isNew bool) int {
 	s.seq++
+	vertex := -1
 	if isNew {
 		v := s.g.AddVertex()
+		vertex = v
 		s.blocks = append(s.blocks, blk)
 		s.parent = append(s.parent, v)
 		s.size = append(s.size, 1)
@@ -178,10 +194,99 @@ func (s *Streamer) Observe(blk *aggregate.Block, isNew bool) {
 		s.cand = cand[:0]
 		r := s.find(v)
 		s.lastTouch[r] = s.seq
-		s.sealQueue = append(s.sealQueue, sealEvent{root: r, seq: s.seq})
+		if !s.sealDisabled {
+			s.sealQueue = append(s.sealQueue, sealEvent{root: r, seq: s.seq})
+		}
 	}
-	s.trySeal()
-	s.drainPending(false)
+	if !s.sealDisabled {
+		s.trySeal()
+		s.drainPending(false)
+	}
+	return vertex
+}
+
+// Retract removes a previously observed aggregate from the stream: its
+// vertex leaves the inverted index and the graph, and — because cutting
+// a vertex can split its component — the survivors' union-find state is
+// rebuilt from the remaining edges. Retracting a vertex a sealed job
+// covered invalidates the seal, exactly like a structural union would.
+// Tombstoned ids are never reused; a key that reappears in a later
+// epoch becomes a fresh vertex.
+func (s *Streamer) Retract(v int) {
+	if v < 0 || v >= len(s.blocks) || s.blocks[v] == nil {
+		return
+	}
+	s.seq++
+	s.retractions++
+	blk := s.blocks[v]
+	r := s.find(v)
+	s.invalidate(r)
+
+	// Surviving members of the component, ascending.
+	members := make([]int, 0, s.size[r]-1)
+	for u := s.head[r]; u != -1; u = s.link[u] {
+		if u != v {
+			members = append(members, u)
+		}
+	}
+	sort.Ints(members)
+
+	// Drop v from the posting lists (order-preserving, so they stay
+	// ascending) and from the graph, then tombstone it: a dead singleton
+	// whose lastTouch no queued seal event can match.
+	for _, lh := range blk.LastHops {
+		row := s.posting[lh]
+		k := 0
+		for _, u := range row {
+			if u != v {
+				row[k] = u
+				k++
+			}
+		}
+		if k == 0 {
+			delete(s.posting, lh)
+		} else {
+			s.posting[lh] = row[:k]
+		}
+	}
+	s.g.RemoveVertex(v)
+	s.blocks[v] = nil
+	s.parent[v] = v
+	s.size[v] = 1
+	s.head[v], s.tail[v], s.link[v] = v, v, -1
+	s.lastTouch[v] = s.seq
+
+	// Rebuild the survivors: reset to singletons, then re-union along
+	// the remaining edges in ascending member order. The resulting roots
+	// depend only on the surviving edge set, never on the order the
+	// component originally grew, so a retraction replays identically.
+	for _, u := range members {
+		s.parent[u] = u
+		s.size[u] = 1
+		s.head[u], s.tail[u], s.link[u] = u, u, -1
+	}
+	for _, u := range members {
+		for _, e := range s.g.Neighbors(u) {
+			if e.To > u {
+				s.union(u, e.To)
+			}
+		}
+	}
+	// Every surviving root re-enters the quiet-window race.
+	for _, u := range members {
+		ru := s.find(u)
+		if s.lastTouch[ru] == s.seq {
+			continue
+		}
+		s.lastTouch[ru] = s.seq
+		if !s.sealDisabled {
+			s.sealQueue = append(s.sealQueue, sealEvent{root: ru, seq: s.seq})
+		}
+	}
+	if !s.sealDisabled {
+		s.trySeal()
+		s.drainPending(false)
+	}
 }
 
 func (s *Streamer) find(x int) int {
@@ -268,6 +373,7 @@ func (s *Streamer) makeJob(root int) *mclJob {
 // pipeline; Finish retries with block=true.
 func (s *Streamer) dispatch(job *mclJob, block bool) {
 	s.allJobs = append(s.allJobs, job)
+	s.jobsWG.Add(1)
 	if block {
 		s.jobCh <- job
 		return
@@ -305,6 +411,13 @@ func (s *Streamer) runJob(j *mclJob) {
 	if j.canceled.Load() {
 		return
 	}
+	s.computeJob(j)
+}
+
+// computeJob fills the job's per-inflation clusterings and sorted
+// intra-cluster weights; shared by the pool workers and the rolling
+// clusterer's inline canonical recomputes.
+func (s *Streamer) computeJob(j *mclJob) {
 	infl := s.p.inflations()
 	j.clusterings = make([][][]int, len(infl))
 	j.intra = make([][]float64, len(infl))
@@ -333,6 +446,51 @@ func (s *Streamer) runJob(j *mclJob) {
 	}
 }
 
+// mergeSweep is the deferred inflation sweep shared by Finish and the
+// rolling epoch clusterer: the barrier path's objective — the fraction
+// of intra-cluster edges below the global median — decomposes into
+// per-component integer counts, summed here over the jobs in component
+// order (nil slots are singleton components with no MCL work). It fills
+// res.SweepScores and res.ChosenInflation and returns the winning
+// inflation's index, with exactly the barrier path's tie-breaking.
+func (p *Pipeline) mergeSweep(res *Result, jobs []*mclJob, median float64, hasEdges bool) int {
+	infl := p.inflations()
+	best := infl[0]
+	bestScore := 2.0
+	for k, inf := range infl {
+		score := 0.0
+		if hasEdges {
+			below, total := 0, 0
+			for _, job := range jobs {
+				if job == nil {
+					continue
+				}
+				ws := job.intra[k]
+				below += sort.SearchFloat64s(ws, median)
+				total += len(ws)
+			}
+			if total == 0 {
+				score = 1
+			} else {
+				score = float64(below) / float64(total)
+			}
+		}
+		res.SweepScores[inf] = score
+		if score < bestScore {
+			bestScore = score
+			best = inf
+		}
+	}
+	res.ChosenInflation = best
+	bestIdx := 0
+	for k, inf := range infl {
+		if inf == best {
+			bestIdx = k
+		}
+	}
+	return bestIdx
+}
+
 // Abort cancels outstanding work and joins the worker pool without
 // producing a result; the error paths of a cancelled run use it so no
 // goroutine outlives the pipeline. Safe to call after Finish (no-op)
@@ -348,6 +506,11 @@ func (s *Streamer) Abort() {
 	s.closed = true
 	for _, j := range s.allJobs {
 		j.canceled.Store(true)
+	}
+	// Parked jobs never reach a worker; release their jobsWG slots so
+	// the counter stays balanced.
+	for range s.pending {
+		s.jobsWG.Done()
 	}
 	s.pending = nil
 	close(s.jobCh)
@@ -368,12 +531,18 @@ func (s *Streamer) Finish() *Result {
 	sealedEarly := len(s.jobs)
 
 	// Component order: ascending vertex sweep, grouping by root on first
-	// sight — the order graph.Components produces.
+	// sight — the order graph.Components produces. Retracted vertices
+	// are tombstones and contribute nothing.
 	n := len(s.blocks)
+	live := 0
 	rootIndex := make(map[int]int, n)
 	var roots []int
 	multi := 0
 	for v := 0; v < n; v++ {
+		if s.blocks[v] == nil {
+			continue
+		}
+		live++
 		r := s.find(v)
 		if _, ok := rootIndex[r]; ok {
 			continue
@@ -402,54 +571,22 @@ func (s *Streamer) Finish() *Result {
 
 	res := &Result{SweepScores: make(map[float64]float64), Components: len(roots)}
 
-	// Deferred sweep merge: the barrier path's objective — the fraction
-	// of intra-cluster edges below the global median — decomposes into
-	// per-component integer counts, summed here in component order.
+	// Deferred sweep merge over the per-component jobs in component
+	// order; nil slots (singletons) contribute nothing.
+	jobs := make([]*mclJob, len(roots))
+	for i, r := range roots {
+		jobs[i] = s.jobs[r]
+	}
 	median, hasEdges := s.g.MedianWeight()
-	infl := s.p.inflations()
-	best := infl[0]
-	bestScore := 2.0
-	for k, inf := range infl {
-		score := 0.0
-		if hasEdges {
-			below, total := 0, 0
-			for _, r := range roots {
-				job, ok := s.jobs[r]
-				if !ok {
-					continue
-				}
-				ws := job.intra[k]
-				below += sort.SearchFloat64s(ws, median)
-				total += len(ws)
-			}
-			if total == 0 {
-				score = 1
-			} else {
-				score = float64(below) / float64(total)
-			}
-		}
-		res.SweepScores[inf] = score
-		if score < bestScore {
-			bestScore = score
-			best = inf
-		}
-	}
-	res.ChosenInflation = best
-	bestIdx := 0
-	for k, inf := range infl {
-		if inf == best {
-			bestIdx = k
-		}
-	}
+	bestIdx := s.p.mergeSweep(res, jobs, median, hasEdges)
 
 	// Assembly in component order: the stored clustering at the winning
 	// inflation is the same [][]int a fresh MCL run would return (MCL is
 	// deterministic on an identical subgraph), so reusing it skips the
 	// barrier path's extra final run per component.
 	clustered := make([]bool, n)
-	for _, r := range roots {
-		job, ok := s.jobs[r]
-		if !ok {
+	for _, job := range jobs {
+		if job == nil {
 			continue
 		}
 		for _, cl := range job.clusterings[bestIdx] {
@@ -466,19 +603,19 @@ func (s *Streamer) Finish() *Result {
 		}
 	}
 	for i, b := range s.blocks {
-		if !clustered[i] {
+		if b != nil && !clustered[i] {
 			res.Unclustered = append(res.Unclustered, b)
 		}
 	}
 
 	reg := s.p.Telemetry
-	reg.Counter("cluster.aggregates_in").Add(int64(n))
+	reg.Counter("cluster.aggregates_in").Add(int64(live))
 	reg.Counter("cluster.graph_edges").Add(int64(s.g.NumEdges()))
 	reg.Counter("cluster.components").Add(int64(len(roots)))
 	reg.Counter("cluster.multi_components").Add(int64(multi))
 	reg.Counter("cluster.clusters").Add(int64(len(res.Clusters)))
 	reg.Counter("cluster.unclustered").Add(int64(len(res.Unclustered)))
-	reg.Gauge("cluster.chosen_inflation_milli").Set(int64(best * 1000))
+	reg.Gauge("cluster.chosen_inflation_milli").Set(int64(res.ChosenInflation * 1000))
 	// Streaming-overlap telemetry (all deterministic: derived from the
 	// Observe sequence, never from scheduling): how many components were
 	// early-sealed and survived, how many edges arrived as deltas, how

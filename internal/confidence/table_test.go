@@ -1,0 +1,77 @@
+package confidence
+
+import "testing"
+
+func TestCellStatsConfidence(t *testing.T) {
+	if c := (CellStats{}).Confidence(); c != 0 {
+		t.Errorf("empty cell confidence = %v, want 0", c)
+	}
+	if c := (CellStats{Successes: 3, Total: 4}).Confidence(); c != 0.75 {
+		t.Errorf("3/4 cell confidence = %v, want 0.75", c)
+	}
+}
+
+func TestEnoughHonorsLevel(t *testing.T) {
+	tbl := &Table{
+		cells:      map[Cell]CellStats{{Cardinality: 2, Probed: 8}: {Successes: 9, Total: 10}},
+		MinSamples: 1,
+	}
+	// Default level is 0.95: a 0.9 cell is not enough.
+	if tbl.Enough(2, 8) {
+		t.Error("0.9 confidence cleared the default 0.95 level")
+	}
+	tbl.Level = 0.85
+	if !tbl.Enough(2, 8) {
+		t.Error("0.9 confidence failed an explicit 0.85 level")
+	}
+	// Absent and under-sampled cells always report false, which makes
+	// Hobbit probe exhaustively.
+	if tbl.Enough(3, 8) {
+		t.Error("absent cell reported enough")
+	}
+	tbl.MinSamples = 100
+	if tbl.Enough(2, 8) {
+		t.Error("under-sampled cell reported enough")
+	}
+}
+
+// TestDefaultBuilder pins the paper's parameters and exercises the
+// full-budget branch of the depiction threshold: with the whole 16,588
+// sample budget the 16,588-point rule applies unchanged.
+func TestDefaultBuilder(t *testing.T) {
+	b := DefaultBuilder(7)
+	if b.Samples != 16588 || b.MinSubset != 4 || b.Seed != 7 {
+		t.Fatalf("DefaultBuilder = %+v", b)
+	}
+	if got := minSamplesFor(b.Samples); got != 16588 {
+		t.Errorf("minSamplesFor(full budget) = %d, want 16588", got)
+	}
+	if got := minSamplesFor(100); got != 50 {
+		t.Errorf("minSamplesFor(100) = %d, want 50", got)
+	}
+	if got := minSamplesFor(1); got != 1 {
+		t.Errorf("minSamplesFor(1) = %d, want 1", got)
+	}
+
+	// A default-parameter Build over a single observation stays cheap —
+	// the per-block draw cap bounds the work — and must populate cells
+	// from the 4-subset up to the observation's size.
+	tbl, err := b.Build([]BlockObservation{synthObservation(0x020000, 3, 24)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MinSamples != 16588 {
+		t.Errorf("full-budget table MinSamples = %d, want 16588", tbl.MinSamples)
+	}
+	if s := tbl.Stats(Cell{Cardinality: 3, Probed: 4}); s.Total == 0 {
+		t.Error("default Build left the (3,4) cell empty")
+	}
+}
+
+func TestBuildRejectsDegenerateObservations(t *testing.T) {
+	// Cardinality-1 blocks are governed by the 6-probe rule, not the
+	// table; a corpus of only those cannot build one.
+	if _, err := (Builder{Samples: 10}).Build([]BlockObservation{synthObservation(0x030000, 1, 12)}); err == nil {
+		t.Fatal("Build accepted a corpus with no cardinality >= 2 observations")
+	}
+}

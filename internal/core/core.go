@@ -117,6 +117,19 @@ func (p *Pipeline) minActive() int {
 	return 4
 }
 
+// MinActiveOrDefault resolves the census eligibility threshold exactly
+// as Run does (0 means the paper's default of 4). The monitor replays
+// the census selection epoch over epoch and must agree with Run on it.
+func (p *Pipeline) MinActiveOrDefault() int { return p.minActive() }
+
+// Measurer builds the same per-block Measurer a Run would use —
+// exhaustive=false for the measurement campaign, exhaustive=true for
+// reprobe validation — so incremental drivers measure byte-identically
+// to a from-scratch run.
+func (p *Pipeline) Measurer(exhaustive bool) *hobbit.Measurer {
+	return p.newMeasurer(exhaustive)
+}
+
 // newMeasurer builds the per-block Measurer shared by the measurement
 // campaign (exhaustive=false) and the Section 6.5 reprobe validation
 // (exhaustive=true), so every option — probing surface, MDA tuning,

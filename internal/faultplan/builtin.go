@@ -27,6 +27,13 @@ const (
 	stormSeverity = 0.60 // additive TTL-exceeded drop probability
 	flapFrac      = 0.10 // fraction of /24s with flapping last hops
 	congSeverity  = 0.30 // additive loss for the affected vantage
+
+	// The churn plan never recovers: the monitoring mode advances fault
+	// epochs indefinitely, so its windows are effectively unbounded.
+	churnWindowTo = 1 << 20
+	churnFlapFrac = 0.04 // fraction of /24s flapping every epoch
+	churnPopFrac  = 0.06 // fraction of pops under a bursty storm
+	churnDuty     = 0.50 // storms toggle roughly every other epoch
 )
 
 // Salts for the deterministic scope draws.
@@ -34,11 +41,12 @@ const (
 	saltPickBlackhole = 0xb1
 	saltPickStorm     = 0xb2
 	saltPickFlap      = 0xb3
+	saltPickChurn     = 0xb4
 )
 
 // BuiltinNames lists the built-in plan names in canonical order.
 func BuiltinNames() []string {
-	return []string{"baseline", "blackhole", "rate-storm", "flap", "congestion"}
+	return []string{"baseline", "blackhole", "rate-storm", "flap", "congestion", "churn"}
 }
 
 // Builtin derives the named built-in plan from the world. Unknown names
@@ -93,6 +101,36 @@ func Builtin(name string, w *netsim.World) (*Plan, error) {
 			Vantage:  0,
 			Severity: congSeverity,
 		})
+	case "churn":
+		// The continuous-monitoring scenario: a minority of blocks flap
+		// every epoch (FlapKey re-draws per epoch inside the window) and
+		// a few pops ride bursty rate storms that toggle between epochs,
+		// with no recovery horizon. Unlike the single-kind scenarios this
+		// one is built for EpochDelta: each epoch's changed set is small
+		// relative to the universe, so the monitor's selective reprobe
+		// has something to prove.
+		for _, b := range w.Blocks() {
+			if rng.Bool(churnFlapFrac, seed, uint64(b), saltPickChurn) {
+				p.Events = append(p.Events, Event{
+					Kind:  RouteFlap,
+					From:  builtinWindowFrom,
+					To:    churnWindowTo,
+					Block: b,
+				})
+			}
+		}
+		for _, popID := range worldPops(w) {
+			if rng.Bool(churnPopFrac, seed, uint64(popID), saltPickChurn) {
+				p.Events = append(p.Events, Event{
+					Kind:     RateStorm,
+					From:     builtinWindowFrom,
+					To:       churnWindowTo,
+					Pop:      popID,
+					Severity: stormSeverity,
+					Duty:     churnDuty,
+				})
+			}
+		}
 	default:
 		return nil, fmt.Errorf("faultplan: unknown built-in plan %q (have %v)", name, BuiltinNames())
 	}

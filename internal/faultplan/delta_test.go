@@ -1,0 +1,97 @@
+package faultplan
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+	"github.com/hobbitscan/hobbit/internal/netsim"
+)
+
+func TestEpochDeltaScopes(t *testing.T) {
+	blk := iputil.MustParseBlock24("10.1.2.0/24")
+	pfx := iputil.MustParsePrefix("10.2.0.0/16")
+	s := MustCompile(&Plan{
+		Name: "delta",
+		Salt: 1,
+		Events: []Event{
+			{Kind: RouteFlap, From: 2, To: 5, Block: blk},
+			{Kind: Blackhole, From: 2, To: 5, Prefix: pfx},
+			{Kind: RateStorm, From: 2, To: 5, Pop: 9, Severity: 0.5, Duty: 1},
+			{Kind: Congestion, From: 8, To: 9, Vantage: 0, Severity: 0.3},
+		},
+	})
+
+	if d := s.EpochDelta(3, 3); !reflect.DeepEqual(d, netsim.RouteDelta{}) {
+		t.Fatalf("equal epochs: %+v, want empty", d)
+	}
+	// Fully outside every window: nothing changes.
+	if d := s.EpochDelta(6, 7); !reflect.DeepEqual(d, netsim.RouteDelta{}) {
+		t.Fatalf("outside windows: %+v, want empty", d)
+	}
+	// Inside the shared window: the flap re-draws every epoch, but the
+	// blackhole and full-duty storm answer identically at both epochs.
+	d := s.EpochDelta(3, 4)
+	if !reflect.DeepEqual(d.Blocks, []iputil.Block24{blk}) || d.Prefixes != nil || d.Pops != nil || d.All {
+		t.Fatalf("inside window: %+v, want only the flapped block", d)
+	}
+	// Across the window edge: everything toggles.
+	d = s.EpochDelta(5, 6)
+	if !reflect.DeepEqual(d.Blocks, []iputil.Block24{blk}) ||
+		!reflect.DeepEqual(d.Prefixes, []iputil.Prefix{pfx}) ||
+		!reflect.DeepEqual(d.Pops, []int32{9}) || d.All {
+		t.Fatalf("window edge: %+v, want flap + prefix + pop", d)
+	}
+	// A congestion toggle is vantage-global: delta degrades to All.
+	if d := s.EpochDelta(7, 8); !d.All {
+		t.Fatalf("congestion onset: %+v, want All", d)
+	}
+}
+
+func TestEpochDeltaBurstyStorm(t *testing.T) {
+	s := MustCompile(&Plan{
+		Name:   "bursty",
+		Salt:   3,
+		Events: []Event{{Kind: RateStorm, From: 0, To: 1 << 20, Pop: 4, Severity: 0.5, Duty: 0.5}},
+	})
+	// At duty 0.5 the firing draw must differ across some adjacent epoch
+	// pair, and EpochDelta must mark the pop exactly when it does.
+	toggled := false
+	for e := 0; e < 32; e++ {
+		want := s.stormFiring(0, &s.events[0], e) != s.stormFiring(0, &s.events[0], e+1)
+		d := s.EpochDelta(e, e+1)
+		got := len(d.Pops) == 1 && d.Pops[0] == 4
+		if got != want {
+			t.Fatalf("epochs (%d,%d): delta pop marked=%v, firing toggled=%v", e, e+1, got, want)
+		}
+		toggled = toggled || want
+	}
+	if !toggled {
+		t.Fatal("bursty storm never toggled in 32 epochs")
+	}
+}
+
+func TestChurnBuiltinDelta(t *testing.T) {
+	w := testWorld(t)
+	s, err := CompileBuiltin("churn", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, all := w2delta(t, w, s, 0, 1)
+	if all {
+		t.Fatal("churn delta degraded to all")
+	}
+	if len(blocks) == 0 {
+		t.Fatal("churn plan changed no blocks between epochs 0 and 1")
+	}
+	if len(blocks) >= len(w.Blocks()) {
+		t.Fatalf("churn delta covers the whole universe (%d of %d)", len(blocks), len(w.Blocks()))
+	}
+}
+
+func w2delta(t *testing.T, w *netsim.World, s *Schedule, e1, e2 int) ([]iputil.Block24, bool) {
+	t.Helper()
+	w.SetFaults(s)
+	defer w.SetFaults(nil)
+	return w.EpochDelta(e1, e2)
+}

@@ -182,3 +182,31 @@ func TestRDNSStore(t *testing.T) {
 		t.Errorf("CountSchemes = %d, want 2", got)
 	}
 }
+
+func TestGeoDBASes(t *testing.T) {
+	db := NewGeoDB()
+	if got := db.ASes(); len(got) != 0 {
+		t.Fatalf("empty db ASes = %v", got)
+	}
+	db.AddAS(ASInfo{ASN: 9318, Org: "SK Broadband", Country: "KR", Type: OrgBroadbandISP})
+	db.AddAS(ASInfo{ASN: 4766, Org: "Korea Telecom", Country: "KR", Type: OrgBroadbandISP})
+	db.AddAS(ASInfo{ASN: 16509, Org: "Amazon", Country: "US", Type: OrgHostingCloud})
+	got := db.ASes()
+	if len(got) != 3 || got[0].ASN != 4766 || got[1].ASN != 9318 || got[2].ASN != 16509 {
+		t.Fatalf("ASes not sorted by ASN: %v", got)
+	}
+	if db.NumBlocks() != 0 {
+		t.Errorf("NumBlocks = %d before any Assign", db.NumBlocks())
+	}
+}
+
+func TestGeoDBGroupByASSkipsUnassigned(t *testing.T) {
+	db := NewGeoDB()
+	db.AddAS(ASInfo{ASN: 4766, Org: "Korea Telecom"})
+	a, b := iputil.Block24(0x010100), iputil.Block24(0x010200)
+	db.Assign(a, 4766)
+	groups := db.GroupByAS([]iputil.Block24{b, a})
+	if len(groups) != 1 || len(groups[0].Blocks) != 1 || groups[0].Blocks[0] != a {
+		t.Fatalf("GroupByAS = %+v, want only the assigned block", groups)
+	}
+}

@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/hobbitscan/hobbit/internal/iputil"
+)
+
+// fakeDeltaFaults extends fakeFaults with a canned EpochDelta answer.
+type fakeDeltaFaults struct {
+	fakeFaults
+	delta RouteDelta
+}
+
+func (f *fakeDeltaFaults) EpochDelta(e1, e2 int) RouteDelta { return f.delta }
+
+func TestSetFaultEpochPinsFaultQueriesOnly(t *testing.T) {
+	w := testWorld(t, 120)
+	var seen []int
+	w.SetFaults(&fakeFaults{
+		flap: func(epoch int, b iputil.Block24) (uint64, bool) {
+			seen = append(seen, epoch)
+			return 0, false
+		},
+	})
+
+	if got := w.FaultEpoch(); got != 0 {
+		t.Fatalf("FaultEpoch with no pin = %d, want measurement epoch 0", got)
+	}
+	w.SetFaultEpoch(7)
+	if got := w.FaultEpoch(); got != 7 {
+		t.Fatalf("FaultEpoch after pin = %d, want 7", got)
+	}
+	if got := w.Epoch(); got != 0 {
+		t.Fatalf("measurement epoch moved to %d on SetFaultEpoch", got)
+	}
+	b := w.Blocks()[0]
+	w.faultFlap(b)
+	if len(seen) == 0 || seen[len(seen)-1] != 7 {
+		t.Fatalf("faultFlap consulted epochs %v, want pinned 7", seen)
+	}
+	w.SetFaultEpoch(-1)
+	if got := w.FaultEpoch(); got != 0 {
+		t.Fatalf("FaultEpoch after clearing pin = %d, want 0", got)
+	}
+	w.faultFlap(b)
+	if seen[len(seen)-1] != 0 {
+		t.Fatalf("faultFlap consulted epoch %d after clear, want 0", seen[len(seen)-1])
+	}
+}
+
+// The whole point of the fault-epoch split: advancing it must not
+// re-draw host availability, or the monitor's cached measurements for
+// unchanged blocks would diverge from a from-scratch run.
+func TestSetFaultEpochKeepsCensusFixed(t *testing.T) {
+	w := testWorld(t, 120)
+	w.SetFaults(&fakeFaults{})
+	scan := func() []bool {
+		var out []bool
+		for _, b := range w.Blocks()[:20] {
+			for i := 0; i < 256; i++ {
+				out = append(out, w.ScanPing(b.Addr(i)))
+			}
+		}
+		return out
+	}
+	before := scan()
+	w.SetFaultEpoch(5)
+	if !reflect.DeepEqual(before, scan()) {
+		t.Fatal("census changed when only the fault epoch advanced")
+	}
+}
+
+func TestEpochDeltaDegradedCases(t *testing.T) {
+	w := testWorld(t, 120)
+
+	if blocks, all := w.EpochDelta(0, 1); blocks != nil || all {
+		t.Fatalf("clean world EpochDelta = (%v, %v), want (nil, false)", blocks, all)
+	}
+	w.SetFaults(&fakeFaults{})
+	if blocks, all := w.EpochDelta(2, 2); blocks != nil || all {
+		t.Fatalf("equal-epoch EpochDelta = (%v, %v), want (nil, false)", blocks, all)
+	}
+	// A FaultView without delta information forces a full reprobe.
+	if blocks, all := w.EpochDelta(0, 1); blocks != nil || !all {
+		t.Fatalf("non-DeltaView EpochDelta = (%v, %v), want (nil, true)", blocks, all)
+	}
+	w.SetFaults(&fakeDeltaFaults{delta: RouteDelta{All: true}})
+	if blocks, all := w.EpochDelta(0, 1); blocks != nil || !all {
+		t.Fatalf("All-delta EpochDelta = (%v, %v), want (nil, true)", blocks, all)
+	}
+}
+
+func TestEpochDeltaExpandsScopes(t *testing.T) {
+	w := testWorld(t, 400)
+	universe := w.Blocks()
+
+	// One direct block, one prefix covering a run of universe blocks,
+	// and one pop scope; plus a block outside the universe and an
+	// unknown pop, which must both expand to nothing.
+	direct := universe[len(universe)-1]
+	prefix := iputil.PrefixOf(universe[3].Addr(0), 20)
+	var wantPrefix []iputil.Block24
+	for _, b := range universe {
+		if prefix.Contains(b.Addr(0)) {
+			wantPrefix = append(wantPrefix, b)
+		}
+	}
+	if len(wantPrefix) < 2 {
+		t.Fatalf("test prefix %v covers %d universe blocks, want >= 2", prefix, len(wantPrefix))
+	}
+	popID, ok := w.PopOfAddr(universe[0].Addr(10))
+	if !ok {
+		t.Fatalf("no pop for %v", universe[0].Addr(10))
+	}
+	outside := iputil.Block24(0) // 0.0.0.0/24 is never in a generated universe
+
+	w.SetFaults(&fakeDeltaFaults{delta: RouteDelta{
+		Blocks:   []iputil.Block24{direct, direct, outside},
+		Prefixes: []iputil.Prefix{prefix},
+		Pops:     []int32{popID, 1 << 30},
+	}})
+	blocks, all := w.EpochDelta(0, 1)
+	if all {
+		t.Fatal("scoped delta reported all=true")
+	}
+	want := map[iputil.Block24]bool{direct: true}
+	for _, b := range wantPrefix {
+		want[b] = true
+	}
+	got := make(map[iputil.Block24]bool, len(blocks))
+	for i, b := range blocks {
+		if i > 0 && blocks[i-1] >= b {
+			t.Fatalf("EpochDelta result unsorted or duplicated at %d: %v >= %v", i, blocks[i-1], b)
+		}
+		got[b] = true
+	}
+	if got[outside] {
+		t.Fatal("EpochDelta returned a block outside the universe")
+	}
+	for b := range want {
+		if !got[b] {
+			t.Fatalf("EpochDelta missing scoped block %v", b)
+		}
+	}
+	// The pop's member blocks must all be present.
+	popHit := false
+	for _, b := range universe {
+		member := false
+		for i := 0; i < 256 && !member; i += 32 {
+			if id, ok := w.PopOfAddr(b.Addr(i)); ok && id == popID {
+				member = true
+			}
+		}
+		if member {
+			popHit = true
+			if !got[b] {
+				t.Fatalf("EpochDelta missing pop member block %v", b)
+			}
+		}
+	}
+	if !popHit {
+		t.Fatal("pop scope matched no universe blocks")
+	}
+}

@@ -76,7 +76,7 @@ func (w *World) Faults() FaultView { return w.faults }
 //
 //hobbit:hotpath
 func (w *World) faultBlackholed(dst iputil.Addr) bool {
-	return w.faults != nil && w.faults.Blackholed(w.epoch, dst)
+	return w.faults != nil && w.faults.Blackholed(w.faultsEpoch(), dst)
 }
 
 // faultRateLimit returns the effective TTL-exceeded drop probability for
@@ -90,9 +90,9 @@ func (w *World) faultRateLimit(v int, dst iputil.Addr) float64 {
 		return p
 	}
 	if pop, ok := w.popOf(dst); ok {
-		p += w.faults.RateBoost(w.epoch, pop.id)
+		p += w.faults.RateBoost(w.faultsEpoch(), pop.id)
 	}
-	p += w.faults.LossBoost(w.epoch, v)
+	p += w.faults.LossBoost(w.faultsEpoch(), v)
 	if p > 1 {
 		p = 1
 	}
@@ -108,7 +108,7 @@ func (w *World) faultPingLoss(v int) float64 {
 	if w.faults == nil {
 		return p
 	}
-	p += w.faults.LossBoost(w.epoch, v)
+	p += w.faults.LossBoost(w.faultsEpoch(), v)
 	if p > 1 {
 		p = 1
 	}
@@ -122,5 +122,17 @@ func (w *World) faultFlap(b iputil.Block24) (uint64, bool) {
 	if w.faults == nil {
 		return 0, false
 	}
-	return w.faults.FlapKey(w.epoch, b)
+	return w.faults.FlapKey(w.faultsEpoch(), b)
+}
+
+// faultsEpoch is the epoch fault queries evaluate at: the pinned fault
+// epoch when one is set (monitoring mode), the measurement epoch
+// otherwise.
+//
+//hobbit:hotpath
+func (w *World) faultsEpoch() int {
+	if w.faultEpochSet {
+		return w.faultEpoch
+	}
+	return w.epoch
 }

@@ -53,6 +53,16 @@ type World struct {
 	epochMu        sync.Mutex
 	popActiveCache map[popEpochKey][]iputil.Addr
 
+	// faultEpoch, when pinned via SetFaultEpoch, is the epoch the fault
+	// plan is evaluated at — decoupled from the measurement epoch so the
+	// monitoring mode can advance route churn without re-drawing host
+	// availability (see delta.go). popBlockCache is the lazy pop ->
+	// member-/24 index EpochDelta expands storm scopes with.
+	faultEpoch    int
+	faultEpochSet bool
+	popBlockCache map[int32][]iputil.Block24
+	popBlockEpoch int
+
 	// routes memoizes materialized hop arrays for the current epoch (see
 	// routecache.go); nil when Config.DisableRouteCache is set.
 	routes *routeCache

@@ -30,7 +30,7 @@ go build ./...
 go run ./cmd/hobbitlint ./...
 go test -race -count=1 -shuffle=on ./...
 
-for pkg in ./internal/faultplan ./internal/harness; do
+for pkg in ./internal/faultplan ./internal/harness ./internal/confidence ./internal/metadata; do
     cov=$(go test -short -count=1 -cover "$pkg" | tee /dev/stderr \
         | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
     test -n "$cov"
